@@ -1,0 +1,60 @@
+// Command masm assembles MAP assembly and prints the disassembly with
+// instruction indices, schedule statistics, and label table — useful for
+// inspecting schedule depth (the Figure 5 metric) and DIP values.
+//
+// Usage:
+//
+//	masm prog.masm
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: masm prog.masm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masm: %v\n", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(os.Args[1], string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masm: %v\n", err)
+		os.Exit(1)
+	}
+
+	rev := map[int][]string{}
+	for name, idx := range p.Labels {
+		rev[idx] = append(rev[idx], name)
+	}
+	ops := 0
+	for i := range p.Insts {
+		for _, l := range rev[i] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("%4d  %s\n", i, p.Insts[i].String())
+		ops += p.Insts[i].Width()
+	}
+	fmt.Printf("\n%d instructions, %d operations (%.2f ops/instruction)\n",
+		p.Len(), ops, float64(ops)/float64(p.Len()))
+
+	if len(p.Labels) > 0 {
+		fmt.Println("\nlabels (usable as DIPs):")
+		names := make([]string, 0, len(p.Labels))
+		for n := range p.Labels {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return p.Labels[names[i]] < p.Labels[names[j]] })
+		for _, n := range names {
+			fmt.Printf("  %-20s %d\n", n, p.Labels[n])
+		}
+	}
+}

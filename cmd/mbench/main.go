@@ -1,0 +1,141 @@
+// Command mbench regenerates every quantitative result of the M-Machine
+// paper on the simulator: Table 1 (access latencies), Figure 9 (remote
+// access timelines), the Figure 5 stencil schedules, the Figure 6 loop
+// synchronization protocol, the Section 1/5 area model, and the mechanism
+// experiments (V-Thread latency tolerance, SEND throttling, GTLB
+// interleaving, guarded pointers, synchronization bits, block caching).
+//
+// Usage:
+//
+//	mbench                # run everything
+//	mbench -exp table1    # one experiment: table1, fig9, stencil,
+//	                      # loopsync, area, vthreads, throttle, gtlb,
+//	                      # gp, syncbits, blockcache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+	"repro/internal/core"
+)
+
+var experiments = []struct {
+	name  string
+	title string
+	run   func() (string, error)
+}{
+	{"table1", "E1. Table 1: local and remote access times", func() (string, error) {
+		rows, err := core.Table1()
+		if err != nil {
+			return "", err
+		}
+		return core.FormatTable1(rows), nil
+	}},
+	{"fig9", "E2. Figure 9: remote read and write timelines", func() (string, error) {
+		r, w, err := core.Figure9()
+		if err != nil {
+			return "", err
+		}
+		return r.Format() + "\n" + w.Format(), nil
+	}},
+	{"stencil", "E3. Figure 5 / Section 3.1: stencil schedule depths", func() (string, error) {
+		rs, err := core.StencilExperiment()
+		if err != nil {
+			return "", err
+		}
+		return core.FormatStencil(rs), nil
+	}},
+	{"loopsync", "E4. Figure 6: H-Thread loop synchronization via global CCs", func() (string, error) {
+		rs, err := core.LoopSyncExperiment(100)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatLoopSync(rs), nil
+	}},
+	{"area", "E5. Sections 1/5: area and peak-performance model", func() (string, error) {
+		in := area.PaperInputs()
+		return area.Format(in, area.Evaluate(in)), nil
+	}},
+	{"vthreads", "E6. Section 3.2: V-Thread latency tolerance", func() (string, error) {
+		rs, err := core.VThreadExperiment(200)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatVThreads(rs), nil
+	}},
+	{"throttle", "E7. Section 4.1: return-to-sender throttling", func() (string, error) {
+		r, err := core.ThrottleExperiment(24, 2)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}},
+	{"gtlb", "E8. Figure 8: GTLB block/cyclic interleaving", func() (string, error) {
+		return core.FormatGTLB(core.GTLBExperiment()), nil
+	}},
+	{"gp", "E9. Section 2: guarded-pointer overhead", func() (string, error) {
+		r, err := core.GuardedPtrExperiment(500)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}},
+	{"syncbits", "E10. Section 2: synchronization bits", func() (string, error) {
+		r, err := core.SyncBitsExperiment()
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}},
+	{"blockcache", "E11. Section 4.3: caching remote data in local DRAM", func() (string, error) {
+		r, err := core.BlockCacheExperiment()
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}},
+	{"netsweep", "E12 (extension). Remote read latency vs. mesh distance", func() (string, error) {
+		rows, err := core.NetworkSweepExperiment()
+		if err != nil {
+			return "", err
+		}
+		return core.FormatNetSweep(rows), nil
+	}},
+	{"gridsmooth", "E13 (extension). Distributed grid smoothing: node scaling", func() (string, error) {
+		rows, err := core.GridSmoothExperiment()
+		if err != nil {
+			return "", err
+		}
+		return core.FormatGridSmooth(rows), nil
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by name")
+	flag.Parse()
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "" && e.name != *exp {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", e.title, out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mbench: unknown experiment %q; available:", *exp)
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, " %s", e.name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

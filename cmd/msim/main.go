@@ -1,0 +1,86 @@
+// Command msim assembles a MAP assembly file and runs it on a simulated
+// M-Machine, printing final register state and machine statistics.
+//
+// Usage:
+//
+//	msim [-nodes N] [-node I] [-vthread V] [-cluster C] [-cycles MAX]
+//	     [-caching] [-trace] prog.masm
+//
+// The program runs privileged (raw addressing) on the selected H-Thread
+// slot; the software runtime (LTLB miss, message, and fault handlers) is
+// installed on every node, and node i homes virtual words
+// [i*4096, (i+1)*4096).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "number of nodes (x-axis mesh)")
+	node := flag.Int("node", 0, "node to load the program on")
+	vthread := flag.Int("vthread", 0, "V-Thread slot (0-3)")
+	clusterID := flag.Int("cluster", 0, "cluster (0-3)")
+	cycles := flag.Int64("cycles", 1_000_000, "cycle budget")
+	caching := flag.Bool("caching", false, "cache remote data in local DRAM")
+	showTrace := flag.Bool("trace", false, "print the event trace")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msim [flags] prog.masm")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := core.NewSim(core.Options{Nodes: *nodes, Caching: *caching})
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.LoadASM(*node, *vthread, *clusterID, string(src)); err != nil {
+		fatal(err)
+	}
+	ran, err := s.Run(*cycles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msim: %v\n", err)
+	}
+
+	fmt.Printf("completed in %d cycles\n\ninteger registers (node %d, vthread %d, cluster %d):\n",
+		ran, *node, *vthread, *clusterID)
+	for i := 0; i < 16; i++ {
+		v := s.Reg(*node, *vthread, *clusterID, i)
+		if v != 0 {
+			fmt.Printf("  i%-2d = %-20d %#x\n", i, int64(v), v)
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("\nstats: %d instructions, %d ops, %d messages, %d LTLB faults, %d status faults, %d sync faults\n",
+		st.Instructions, st.Operations, st.MsgsInjected, st.LTLBFaults, st.StatusFaults, st.SyncFaults)
+
+	for i := 0; i < *nodes; i++ {
+		if out := s.M.Chip(i).Console.String(); out != "" {
+			fmt.Printf("\nconsole (node %d):\n%s", i, out)
+		}
+	}
+
+	if *showTrace {
+		fmt.Println("\ntrace:")
+		fmt.Print(trace.Timeline(s.Recorder.Events))
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "msim: %v\n", err)
+	os.Exit(1)
+}

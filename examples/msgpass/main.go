@@ -1,0 +1,109 @@
+// Msgpass: protected user-level message passing (Section 4.1, Figure 7).
+// Two unprivileged user threads on different nodes ping-pong a value using
+// nothing but the atomic SEND instruction and synchronizing memory: the
+// system grants each thread guarded pointers to the communication words and
+// registers the remote-store DIP; protection is enforced by hardware on
+// every SEND (tagged pointer, legal DIP) with no OS call on the fast path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gp"
+)
+
+const rounds = 16
+
+func main() {
+	sim, err := core.NewSim(core.Options{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ping := sim.HomeBase(1) + 32 // on node 1
+	pong := sim.HomeBase(0) + 32 // on node 0
+
+	// First-touch both words at their homes so the sync bits start empty
+	// on mapped pages.
+	for node, addr := range map[int]uint64{0: pong, 1: ping} {
+		if err := sim.LoadASM(node, 3, 3, fmt.Sprintf(
+			"movi i1, #%d\nmovi i2, #0\nst [i1], i2\nhalt", addr)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sim.Run(100_000); err != nil {
+		log.Fatal(err)
+	}
+
+	dip := sim.RT.DIPRemoteWriteSync
+
+	// Node 0: send the ping, wait for the pong. The payload derives from
+	// the previous pong (i9): synchronizing loads do not block the thread
+	// until their value is used (Section 3.3), so without this dependence
+	// the loop would race ahead and pipeline its pings.
+	if err := sim.LoadUserASM(0, 0, 0, fmt.Sprintf(`
+    movi i3, #%d            ; registered remote-store-sync DIP
+    movi i5, #0
+    movi i6, #%d
+loop:
+    add  i8, i9, #1000      ; payload = last pong + 1000 (serializes)
+    send i1, i3, i8, #1     ; ping -> node 1 (atomic, protected)
+    ldsy.fe i9, [i2]        ; wait for the pong (sync bit)
+    add  i5, i5, #1
+    lt   i7, i5, i6
+    brt  i7, loop
+    halt
+`, dip, rounds)); err != nil {
+		log.Fatal(err)
+	}
+	// Node 1: wait for the ping, reply with payload+1.
+	if err := sim.LoadUserASM(1, 0, 0, fmt.Sprintf(`
+    movi i3, #%d
+    movi i5, #0
+    movi i6, #%d
+loop:
+    ldsy.fe i9, [i1]        ; wait for the ping
+    add  i8, i9, #1
+    send i2, i3, i8, #1     ; pong -> node 0
+    add  i5, i5, #1
+    lt   i7, i5, i6
+    brt  i7, loop
+    halt
+`, dip, rounds)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The system grants the capabilities: node 0 may write ping (remote)
+	// and read pong (local); node 1 the reverse.
+	grants := []struct {
+		node, reg int
+		addr      uint64
+	}{
+		{0, 1, ping}, {0, 2, pong},
+		{1, 1, ping}, {1, 2, pong},
+	}
+	for _, g := range grants {
+		if err := sim.GrantPointer(g.node, 0, 0, g.reg, gp.PermRW, 4, g.addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cycles, err := sim.Run(5_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := sim.Reg(0, 0, 0, 9)
+	fmt.Printf("%d ping-pong rounds in %d cycles (%.0f cycles/round trip)\n",
+		rounds, cycles, float64(cycles)/rounds)
+	// pong_k = pong_{k-1} + 1001, so the final pong is rounds*1001.
+	fmt.Printf("final pong payload = %d (expect %d)\n", last, rounds*1001)
+
+	st := sim.Stats()
+	fmt.Printf("messages injected %d, sync faults retried in software %d\n",
+		st.MsgsInjected, st.SyncFaults)
+	fmt.Println()
+	fmt.Println("Every SEND was checked in hardware: tagged pointer destination,")
+	fmt.Println("GTLB translation within the sender's address space, registered")
+	fmt.Println("DIP — the paper's protected user-level network access.")
+}

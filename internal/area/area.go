@@ -1,0 +1,102 @@
+// Package area implements the technology/area analytical model of the
+// paper's Sections 1 and 5: normalized-lambda-squared areas of processors,
+// chips, and memory systems, and the headline claim that a 32-node
+// M-Machine delivers 128x the peak performance of a 1996 uniprocessor with
+// the same memory capacity at 1.5x the area — an 85:1 improvement in peak
+// performance per unit area.
+package area
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lambda2 is an area in units of lambda^2 (lambda = half the gate length;
+// Mead & Conway normalization, the paper's footnote 1).
+type Lambda2 float64
+
+const (
+	M Lambda2 = 1e6
+	G Lambda2 = 1e9
+)
+
+// Inputs are the paper's technology constants.
+type Inputs struct {
+	ProcArea       Lambda2 // 64-bit processor with pipelined FPU: 400 M-lambda^2
+	Chip1993       Lambda2 // 0.5um chip: 3.6 G-lambda^2
+	Chip1996       Lambda2 // 0.35um chip: 10 G-lambda^2
+	MapChip        Lambda2 // MAP chip: 5 G-lambda^2
+	ClusterFracMap float64 // four clusters / MAP chip: 32%
+	ClusterFracNod float64 // four clusters / 8-MByte six-chip node: 11%
+	SysProcFrac96  float64 // processor / 1996 256-MByte system silicon: 0.13%
+	SysProcFrac93  float64 // processor / 1993 64-MByte system silicon: 0.52%
+	Nodes          int     // 32-node configuration
+	ClustersPer    int     // 4 clusters per node
+}
+
+// PaperInputs returns the constants exactly as stated in the paper.
+func PaperInputs() Inputs {
+	return Inputs{
+		ProcArea:       400 * M,
+		Chip1993:       3.6 * G,
+		Chip1996:       10 * G,
+		MapChip:        5 * G,
+		ClusterFracMap: 0.32,
+		ClusterFracNod: 0.11,
+		SysProcFrac96:  0.0013,
+		SysProcFrac93:  0.0052,
+		Nodes:          32,
+		ClustersPer:    4,
+	}
+}
+
+// Results are the derived quantities the paper reports.
+type Results struct {
+	ProcFracChip1993 float64 // 11%
+	ProcFracChip1996 float64 // 4%
+	NodeArea         Lambda2 // MAP clusters / 11% => node area
+	MachineArea      Lambda2 // Nodes * NodeArea
+	UniSystemArea    Lambda2 // 1996 uniprocessor system, same memory
+	AreaRatio        float64 // MachineArea / UniSystemArea: ~1.5
+	PeakPerfRatio    float64 // clusters vs one processor: 128
+	PerfPerAreaGain  float64 // PeakPerfRatio / AreaRatio: ~85
+	ProcFracMachine  float64 // processor silicon fraction of the M-Machine: ~11%
+}
+
+// Evaluate derives the results from the inputs.
+func Evaluate(in Inputs) Results {
+	var r Results
+	r.ProcFracChip1993 = float64(in.ProcArea / in.Chip1993)
+	r.ProcFracChip1996 = float64(in.ProcArea / in.Chip1996)
+
+	clusterArea := Lambda2(float64(in.MapChip) * in.ClusterFracMap)
+	r.NodeArea = Lambda2(float64(clusterArea) / in.ClusterFracNod)
+	r.MachineArea = Lambda2(float64(r.NodeArea) * float64(in.Nodes))
+
+	// The 1996 uniprocessor system with the same 256-MByte capacity:
+	// its processor is SysProcFrac96 of total silicon.
+	r.UniSystemArea = Lambda2(float64(in.ProcArea) / in.SysProcFrac96)
+
+	r.AreaRatio = float64(r.MachineArea / r.UniSystemArea)
+	r.PeakPerfRatio = float64(in.Nodes * in.ClustersPer)
+	r.PerfPerAreaGain = r.PeakPerfRatio / r.AreaRatio
+	r.ProcFracMachine = in.ClusterFracNod
+	return r
+}
+
+// Format renders the model against the paper's claims.
+func Format(in Inputs, r Results) string {
+	var b strings.Builder
+	row := func(name string, paper, ours float64, unit string) {
+		fmt.Fprintf(&b, "%-46s %10.3g %10.3g %s\n", name, paper, ours, unit)
+	}
+	fmt.Fprintf(&b, "%-46s %10s %10s\n", "quantity", "paper", "model")
+	row("processor fraction of 1993 0.5um chip", 0.11, r.ProcFracChip1993, "")
+	row("processor fraction of 1996 0.35um chip", 0.04, r.ProcFracChip1996, "")
+	row("processor fraction of 1996 system silicon", 0.0013, in.SysProcFrac96, "")
+	row("M-Machine processor fraction of node", 0.11, r.ProcFracMachine, "")
+	row("32-node M-Machine area / uniprocessor area", 1.5, r.AreaRatio, "x")
+	row("peak performance ratio (128 clusters)", 128, r.PeakPerfRatio, "x")
+	row("peak performance per area gain", 85, r.PerfPerAreaGain, ":1")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestPaperClaims(t *testing.T) {
+	r := Evaluate(PaperInputs())
+	// "a 64-bit processor with a pipelined FPU (400M-lambda^2) is only 11%
+	// of a 3.6G-lambda^2 1993 0.5um chip and only 4% of a 10G-lambda^2
+	// 1996 0.35um chip"
+	if !approx(r.ProcFracChip1993, 0.111, 0.002) {
+		t.Errorf("1993 processor fraction = %f, want ~0.111", r.ProcFracChip1993)
+	}
+	if !approx(r.ProcFracChip1996, 0.04, 0.001) {
+		t.Errorf("1996 processor fraction = %f, want 0.04", r.ProcFracChip1996)
+	}
+	// "a 85:1 improvement in peak performance/area"
+	if !approx(r.PerfPerAreaGain, 85, 2) {
+		t.Errorf("perf/area gain = %f, want ~85", r.PerfPerAreaGain)
+	}
+	// "128 times the peak performance ... at 1.5 times the area"
+	if r.PeakPerfRatio != 128 {
+		t.Errorf("peak perf ratio = %f, want 128", r.PeakPerfRatio)
+	}
+	if !approx(r.AreaRatio, 1.5, 0.05) {
+		t.Errorf("area ratio = %f, want ~1.5", r.AreaRatio)
+	}
+	// "increases the ratio of processor to memory silicon area to 11%"
+	if !approx(r.ProcFracMachine, 0.11, 0.001) {
+		t.Errorf("M-Machine processor fraction = %f, want 0.11", r.ProcFracMachine)
+	}
+}
+
+func TestNodeAreaDerivation(t *testing.T) {
+	r := Evaluate(PaperInputs())
+	// Clusters are 32% of the 5G map chip = 1.6G; at 11% of the node the
+	// node is ~14.5G-lambda^2.
+	if !approx(float64(r.NodeArea), 14.5e9, 0.2e9) {
+		t.Errorf("node area = %g, want ~14.5e9", float64(r.NodeArea))
+	}
+	if !approx(float64(r.MachineArea), 32*14.5e9, 10e9) {
+		t.Errorf("machine area = %g", float64(r.MachineArea))
+	}
+}
+
+func TestFormatMentionsHeadline(t *testing.T) {
+	in := PaperInputs()
+	out := Format(in, Evaluate(in))
+	if len(out) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{"85", "128", "peak performance"} {
+		if !contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScalingSensitivity(t *testing.T) {
+	// Halving the node count halves peak performance but also area: the
+	// perf/area gain is invariant to machine size in this model.
+	in := PaperInputs()
+	r32 := Evaluate(in)
+	in.Nodes = 16
+	r16 := Evaluate(in)
+	if !approx(r16.PerfPerAreaGain/r32.PerfPerAreaGain, 1.0, 1e-9) {
+		t.Errorf("perf/area gain should be size-invariant: %f vs %f",
+			r16.PerfPerAreaGain, r32.PerfPerAreaGain)
+	}
+	if !approx(r16.PeakPerfRatio, 64, 1e-9) {
+		t.Errorf("16-node peak ratio = %f, want 64", r16.PeakPerfRatio)
+	}
+}

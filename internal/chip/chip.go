@@ -1,0 +1,379 @@
+// Package chip implements the MAP multi-ALU processor chip (Figure 2): four
+// execution clusters interleaving six V-Threads, the M-Switch and C-Switch
+// port arbitration, the hardware event and message queues, the network
+// output's SEND datapath with GTLB translation and return-to-sender
+// throttling, and the network input interface.
+//
+// One Chip.Step call advances the node by one cycle. The simulation is
+// deterministic: arbitration is resolved in fixed order (exception slot,
+// event slot, then user slots round-robin within each cluster; clusters in
+// index order for shared resources).
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/events"
+	"repro/internal/gtlb"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// Config gathers the chip's timing and capacity parameters.
+type Config struct {
+	Mem mem.Config
+	Net noc.Config
+
+	IntLat  int64 // integer ALU result latency
+	FPLat   int64 // FP add/sub/mul/convert latency
+	FDivLat int64 // FP divide latency
+	XferLat int64 // cross-cluster register write over the C-Switch
+	GCCLat  int64 // global CC broadcast latency
+	GTLBLat int64 // GPROBE / SEND translation latency
+
+	CSwitchPorts int // C-Switch transfers per cycle (4, Section 2)
+
+	MsgQueueCap   int   // words per hardware message queue
+	EventQueueCap int   // words per event queue (0 = unbounded)
+	SendCredits   int   // return-to-sender buffer slots (Section 4.1)
+	ResendDelay   int64 // cycles before a returned message is resent
+}
+
+// DefaultConfig returns the calibrated chip configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mem:           mem.DefaultConfig(),
+		Net:           noc.DefaultConfig(),
+		IntLat:        1,
+		FPLat:         3,
+		FDivLat:       8,
+		XferLat:       2,
+		GCCLat:        1,
+		GTLBLat:       2,
+		CSwitchPorts:  4,
+		MsgQueueCap:   64,
+		EventQueueCap: 0,
+		SendCredits:   16,
+		ResendDelay:   20,
+	}
+}
+
+// Queue indices for the per-cluster hardware queues. The paper dedicates
+// the event V-Thread's H-Threads by cluster (Section 3.3): cluster 0 runs
+// memory synchronization and block status faults, cluster 1 runs LTLB
+// misses, clusters 2 and 3 run arriving messages at priorities 0 and 1.
+const (
+	FaultCluster   = 0
+	LTLBCluster    = 1
+	MsgPri0Cluster = 2
+	MsgPri1Cluster = 3
+)
+
+type pendingReg struct {
+	at      int64
+	vthread int
+	cl      int
+	reg     isa.Reg
+	w       isa.Word
+	seq     uint64
+}
+
+type pendingGCC struct {
+	at  int64
+	idx int
+	w   isa.Word
+	seq uint64
+}
+
+// reqMeta routes a memory response back to its destination.
+type reqMeta struct {
+	vthread int
+	cl      int
+	dst     isa.Reg // destination register for loads (local form)
+	isRetry bool    // re-injected by MRETRY: route via regDesc instead
+	regDesc uint64
+	data    isa.Word // original store data, kept for event records
+}
+
+// Chip is one M-Machine node's processor.
+type Chip struct {
+	Cfg   Config
+	Node  noc.Coord
+	Index int // linearized node id
+
+	Clusters [isa.NumClusters]*cluster.Cluster
+	Mem      *mem.System
+	Net      *noc.Network
+	GTLB     *gtlb.GTLB
+
+	// Hardware queues. evq[c] is cluster c's event queue; msgq[p] is the
+	// priority-p message queue (readable as net on clusters 2/3). excq is
+	// the synchronous exception queue.
+	evq  [isa.NumClusters]*events.Queue
+	msgq [noc.NumPriorities]*events.Queue
+	excq *events.Queue
+
+	pendingRegs []pendingReg
+	pendingGCC  []pendingGCC
+	pendSeq     uint64
+
+	memMeta map[uint64]*reqMeta
+	memSeq  uint64
+
+	// SEND datapath state (Section 4.1, "Throttling").
+	credits   int
+	resendBuf []*noc.Message
+	resendAt  []int64
+
+	// validDIPs restricts the dispatch instruction pointers user threads
+	// may name in SEND ("restricting the set of user accessible DIPs
+	// prevents a user handler from monopolizing the network input").
+	validDIPs map[uint64]bool
+
+	// directory is the software-managed sharer directory manipulated by
+	// the privileged DIRLOG/DIRCNT handler operations (Section 4.3).
+	directory map[uint64][]int
+
+	// Console is the node's I/O-bus output device.
+	Console *Console
+
+	// Trace, if non-nil, receives simulation events for timeline
+	// reconstruction (Figure 9).
+	Trace func(cycle int64, node int, event, detail string)
+
+	Cycle int64
+
+	// Stats.
+	InstsIssued  uint64
+	OpsIssued    uint64
+	SendsBlocked uint64
+	MsgsReturned uint64
+	cswitchUsed  int // per-cycle C-Switch port budget consumed
+}
+
+// New creates a chip at the given mesh coordinate. net and gdt are shared
+// across the machine's nodes.
+func New(cfg Config, node noc.Coord, index int, net *noc.Network, gdt *gtlb.Table) *Chip {
+	c := &Chip{
+		Cfg:       cfg,
+		Node:      node,
+		Index:     index,
+		Mem:       mem.NewSystem(cfg.Mem),
+		Net:       net,
+		GTLB:      gtlb.New(gdt, 16),
+		excq:      events.NewQueue(cfg.EventQueueCap),
+		memMeta:   make(map[uint64]*reqMeta),
+		credits:   cfg.SendCredits,
+		validDIPs: make(map[uint64]bool),
+		directory: make(map[uint64][]int),
+	}
+	for i := range c.Clusters {
+		c.Clusters[i] = cluster.New(i)
+		c.evq[i] = events.NewQueue(cfg.EventQueueCap)
+	}
+	c.Console = &Console{}
+	c.Mem.AttachDevice(c.ConsoleBase(), ConsoleWords, c.Console)
+	// The priority-0 (request) queue is bounded, triggering the
+	// return-to-sender protocol when full; the priority-1 (reply) queue is
+	// effectively unbounded since replies are limited by outstanding
+	// requests and must always drain to avoid deadlock.
+	c.msgq[0] = events.NewQueue(cfg.MsgQueueCap)
+	c.msgq[1] = events.NewQueue(0)
+	return c
+}
+
+// LoadProgram installs a program on an H-Thread slot.
+func (c *Chip) LoadProgram(vthread, cl int, p *isa.Program, privileged bool) {
+	c.Clusters[cl].Threads[vthread].Load(p, privileged)
+}
+
+// RegisterDIP marks a dispatch instruction pointer as legal for user SENDs.
+func (c *Chip) RegisterDIP(dip uint64) { c.validDIPs[dip] = true }
+
+// Thread returns the H-Thread context for a slot.
+func (c *Chip) Thread(vthread, cl int) *cluster.HThread {
+	return c.Clusters[cl].Threads[vthread]
+}
+
+// Credits returns the current send-credit count (throttling state).
+func (c *Chip) Credits() int { return c.credits }
+
+// EventQueue exposes cluster cl's event queue (for tests and stats).
+func (c *Chip) EventQueue(cl int) *events.Queue { return c.evq[cl] }
+
+// MsgQueue exposes the priority-p message queue.
+func (c *Chip) MsgQueue(p int) *events.Queue { return c.msgq[p] }
+
+// ExcQueue exposes the synchronous exception queue.
+func (c *Chip) ExcQueue() *events.Queue { return c.excq }
+
+func (c *Chip) trace(event, detail string) {
+	if c.Trace != nil {
+		c.Trace(c.Cycle, c.Index, event, detail)
+	}
+}
+
+// Step advances the chip one cycle. now must equal the chip's Cycle.
+func (c *Chip) Step(now int64) {
+	if now != c.Cycle {
+		panic(fmt.Sprintf("chip %d: Step(%d) at cycle %d", c.Index, now, c.Cycle))
+	}
+	c.cswitchUsed = 0
+
+	// 1. Memory responses: writebacks become visible before issue, so a
+	// 3-cycle load hit satisfies a dependent issue on cycle t+3.
+	for _, resp := range c.Mem.Step(now) {
+		c.memResponse(resp)
+	}
+
+	// 2. Pending register and GCC writebacks due this cycle.
+	c.applyPending(now)
+
+	// 3. Network input: accept arrivals into the hardware message queues,
+	// generating the return-to-sender hardware replies (Section 4.1).
+	c.networkInput(now)
+
+	// 4. Resend returned messages whose backoff expired.
+	c.resendReturned(now)
+
+	// 5. Issue: one instruction per cluster per cycle.
+	for cl := range c.Clusters {
+		c.issueCluster(now, cl)
+	}
+
+	c.Cycle++
+}
+
+// applyPending delivers scheduled register writes and GCC broadcasts.
+func (c *Chip) applyPending(now int64) {
+	var restR []pendingReg
+	for _, p := range c.pendingRegs {
+		if p.at > now {
+			restR = append(restR, p)
+			continue
+		}
+		th := c.Clusters[p.cl].Threads[p.vthread]
+		switch p.reg.Class {
+		case isa.RInt, isa.RFP:
+			th.File(p.reg.Class).Set(int(p.reg.Index), p.w)
+		case isa.RGCC:
+			c.Clusters[p.cl].GCC.Set(int(p.reg.Index), p.w)
+		}
+	}
+	c.pendingRegs = restR
+
+	var restG []pendingGCC
+	for _, g := range c.pendingGCC {
+		if g.at > now {
+			restG = append(restG, g)
+			continue
+		}
+		for cl := range c.Clusters {
+			c.Clusters[cl].GCC.Set(g.idx, g.w)
+		}
+	}
+	c.pendingGCC = restG
+}
+
+// schedule queues a register writeback.
+func (c *Chip) schedule(at int64, vthread, cl int, reg isa.Reg, w isa.Word) {
+	c.pendSeq++
+	c.pendingRegs = append(c.pendingRegs, pendingReg{at, vthread, cl, reg, w, c.pendSeq})
+}
+
+// scheduleGCC queues a global CC broadcast to every cluster's replica.
+func (c *Chip) scheduleGCC(at int64, idx int, w isa.Word) {
+	c.pendSeq++
+	c.pendingGCC = append(c.pendingGCC, pendingGCC{at, idx, w, c.pendSeq})
+}
+
+// memResponse routes a completed memory request: load writebacks, store
+// completions, or fault events.
+func (c *Chip) memResponse(resp mem.Response) {
+	meta := c.memMeta[resp.Req.Token]
+	if meta == nil {
+		panic(fmt.Sprintf("chip %d: orphan memory response %+v", c.Index, resp))
+	}
+	delete(c.memMeta, resp.Req.Token)
+
+	if resp.Fault != mem.FaultNone {
+		c.memFault(resp, meta)
+		return
+	}
+	c.trace("mem-complete", fmt.Sprintf("%s addr=%#x", resp.Req.Kind, resp.Req.Addr))
+	if !resp.Req.Kind.IsWrite() {
+		w := isa.Word{Bits: resp.Data, Ptr: resp.DataPtr}
+		if meta.isRetry {
+			vt, cl, reg := isa.UnpackRegDesc(meta.regDesc)
+			c.Clusters[cl].Threads[vt].File(reg.Class).Set(int(reg.Index), w)
+			c.trace("retry-complete", fmt.Sprintf("addr=%#x", resp.Req.Addr))
+		} else {
+			th := c.Clusters[meta.cl].Threads[meta.vthread]
+			th.File(meta.dst.Class).Set(int(meta.dst.Index), w)
+		}
+	}
+}
+
+// memFault converts a faulting memory response into an asynchronous event
+// record on the appropriate cluster's queue (Section 3.3).
+func (c *Chip) memFault(resp mem.Response, meta *reqMeta) {
+	rec := events.Record{
+		Kind:  resp.Req.Kind,
+		Pre:   resp.Req.Pre,
+		Post:  resp.Req.Post,
+		VAddr: resp.Req.Addr,
+		Data:  isa.Word{Bits: resp.Req.Data, Ptr: resp.Req.DataPtr},
+	}
+	if meta.isRetry {
+		rec.RegDesc = meta.regDesc
+	} else {
+		rec.RegDesc = isa.RegDesc(meta.vthread, meta.cl, meta.dst)
+	}
+	var q *events.Queue
+	switch resp.Fault {
+	case mem.FaultLTLBMiss:
+		rec.Type = events.LTLBMiss
+		q = c.evq[LTLBCluster]
+	case mem.FaultStatus:
+		rec.Type = events.BlockStatus
+		q = c.evq[FaultCluster]
+	case mem.FaultSync:
+		rec.Type = events.SyncFault
+		q = c.evq[FaultCluster]
+	default:
+		panic("chip: unknown fault")
+	}
+	c.trace("event", rec.String())
+	q.Push(rec)
+}
+
+// submitMem registers metadata and hands a request to the memory system.
+func (c *Chip) submitMem(now int64, req mem.Request, meta *reqMeta) {
+	c.memSeq++
+	req.Token = c.memSeq
+	c.memMeta[req.Token] = meta
+	c.Mem.Submit(now, req)
+}
+
+// Quiescent reports whether the chip has no outstanding work besides
+// whatever threads are loaded: no in-flight memory ops, pending writebacks,
+// queued events or messages, or buffered resends.
+func (c *Chip) Quiescent() bool {
+	if c.Mem.Pending() > 0 || len(c.pendingRegs) > 0 || len(c.pendingGCC) > 0 ||
+		len(c.resendBuf) > 0 || !c.excq.Empty() {
+		return false
+	}
+	for _, q := range c.evq {
+		if !q.Empty() {
+			return false
+		}
+	}
+	for _, q := range c.msgq {
+		if !q.Empty() {
+			return false
+		}
+	}
+	return true
+}

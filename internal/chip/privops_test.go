@@ -1,0 +1,210 @@
+package chip_test
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/cluster"
+	"repro/internal/gp"
+	"repro/internal/gtlb"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// Helpers for two-node chip-level tests without the machine wrapper.
+func defaultTwoNodeCfg(t *testing.T) chip.Config {
+	t.Helper()
+	return chip.DefaultConfig()
+}
+
+func twoNodeNetGdt(t *testing.T, cfg chip.Config) (*noc.Network, *gtlb.Table) {
+	t.Helper()
+	net := noc.New(noc.Coord{X: 2, Y: 1, Z: 1}, cfg.Net)
+	gdt := &gtlb.Table{}
+	if err := gdt.Add(gtlb.Entry{
+		VirtPage: 0, GroupPages: 8,
+		Start: gtlb.NodeID{X: 1}, PagesPerNode: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net, gdt
+}
+
+func chipNew(cfg chip.Config, idx int, net *noc.Network, gdt *gtlb.Table) *chip.Chip {
+	return chip.New(cfg, net.CoordOf(idx), idx, net, gdt)
+}
+
+func TestBSWAndBSR(t *testing.T) {
+	c := newChip(t)
+	c.Mem.MapPage(0, 0, mem.BSReadWrite)
+	load(t, c, 0, 0, `
+    movi i1, #16            ; block 2
+    bsr i2, [i1]            ; initial status
+    movi i3, #1             ; READ-ONLY
+    bsw i1, i3
+    bsr i4, [i1]
+    movi i3, #0             ; INVALID
+    bsw i1, i3
+    bsr i5, [i1]
+    halt
+`, true)
+	stepUntilHalt(t, c, 0, 0, 200)
+	if ireg(c, 0, 0, 2) != uint64(mem.BSReadWrite) {
+		t.Errorf("initial status = %d, want READ/WRITE", ireg(c, 0, 0, 2))
+	}
+	if ireg(c, 0, 0, 4) != uint64(mem.BSReadOnly) {
+		t.Errorf("after bsw = %d, want READ-ONLY", ireg(c, 0, 0, 4))
+	}
+	if ireg(c, 0, 0, 5) != uint64(mem.BSInvalid) {
+		t.Errorf("after second bsw = %d, want INVALID", ireg(c, 0, 0, 5))
+	}
+}
+
+func TestTLBWAndTLBINV(t *testing.T) {
+	c := newChip(t)
+	// Build a PTE for vpn 3 -> ppn 5 in registers i8..i11 and install it.
+	e := mem.PTE{VPN: 3, PPN: 5, Valid: true}
+	e.SetAllBlocks(mem.BSReadWrite)
+	w := e.Encode()
+	load(t, c, 0, 0, `
+    tlbw i8
+    halt
+`, true)
+	th := c.Thread(0, 0)
+	for i, word := range w {
+		th.Ints.Set(8+i, isa.W(word))
+	}
+	stepUntilHalt(t, c, 0, 0, 100)
+	if pa, ok := c.Mem.Translate(3*mem.PageWords + 7); !ok || pa != 5*mem.PageWords+7 {
+		t.Errorf("translate after tlbw = %#x, %v", pa, ok)
+	}
+	// Invalidate: the entry leaves the LTLB (its status bits are written
+	// back to the LPT, so the mapping itself survives — an eviction, not
+	// a destruction).
+	load(t, c, 1, 0, `
+    movi i1, #3
+    tlbinv i1
+    halt
+`, true)
+	stepUntilHalt(t, c, 1, 0, 100)
+	if c.Mem.LTLB.Lookup(3) != nil {
+		t.Error("entry still resident in the LTLB after tlbinv")
+	}
+	if _, ok := c.Mem.Translate(3 * mem.PageWords); !ok {
+		t.Error("LPT copy lost by tlbinv writeback")
+	}
+}
+
+func TestGProbeUnmappedReturnsAllOnes(t *testing.T) {
+	c := newChip(t)
+	load(t, c, 0, 0, `
+    movi i1, #0
+    gprobe i2, i1           ; mapped: node 0
+    movi i3, #1000000000
+    gprobe i4, i3           ; unmapped
+    halt
+`, true)
+	stepUntilHalt(t, c, 0, 0, 100)
+	if ireg(c, 0, 0, 2) != 0 {
+		t.Errorf("gprobe mapped = %d, want 0", ireg(c, 0, 0, 2))
+	}
+	if ireg(c, 0, 0, 4) != ^uint64(0) {
+		t.Errorf("gprobe unmapped = %#x, want all ones", ireg(c, 0, 0, 4))
+	}
+}
+
+func TestSendnBadNodeFaults(t *testing.T) {
+	c := newChip(t)
+	load(t, c, 0, 0, `
+    movi i1, #99            ; node 99 does not exist
+    movi i2, #0
+    movi i8, #1
+    sendn i1, i2, i8, #1
+    halt
+`, true)
+	for i := 0; i < 50; i++ {
+		c.Step(c.Cycle)
+	}
+	if c.Thread(0, 0).Status != cluster.ThreadFaulted {
+		t.Error("sendn to nonexistent node should fault")
+	}
+}
+
+func TestSetptrProducesWorkingPointer(t *testing.T) {
+	c := newChip(t)
+	c.Mem.MapPage(0, 0, mem.BSReadWrite)
+	c.Mem.SDRAM.Write(32, 555, false)
+	load(t, c, 0, 0, `
+    movi i1, #32
+    setptr i2, i1, #0x53    ; rw, segLen 5 (32-word segment at [32,64))
+    lea i3, i2, #1
+    ld i4, [i2]
+    halt
+`, true)
+	stepUntilHalt(t, c, 0, 0, 200)
+	p := gp.Pointer(c.Thread(0, 0).Ints.Get(2).Bits)
+	if !c.Thread(0, 0).Ints.Get(2).Ptr {
+		t.Fatal("setptr result not tagged")
+	}
+	if p.Addr() != 32 || p.SegLen() != 5 || p.Perms() != gp.PermRW {
+		t.Errorf("pointer = %v", p)
+	}
+	q := gp.Pointer(c.Thread(0, 0).Ints.Get(3).Bits)
+	if q.Addr() != 33 || !c.Thread(0, 0).Ints.Get(3).Ptr {
+		t.Errorf("lea result = %v", q)
+	}
+	if ireg(c, 0, 0, 4) != 555 {
+		t.Errorf("load through pointer = %d", ireg(c, 0, 0, 4))
+	}
+}
+
+func TestUserSendUntaggedAddressFaults(t *testing.T) {
+	c := newChip(t)
+	c.RegisterDIP(5)
+	load(t, c, 0, 0, `
+    movi i1, #100
+    movi i2, #5
+    movi i8, #1
+    send i1, i2, i8, #1     ; raw address from user mode
+    halt
+`, false)
+	for i := 0; i < 50; i++ {
+		c.Step(c.Cycle)
+	}
+	th := c.Thread(0, 0)
+	if th.Status != cluster.ThreadFaulted {
+		t.Fatalf("status = %v, want faulted", th.Status)
+	}
+}
+
+func TestMessageRejectGeneratesReturn(t *testing.T) {
+	cfg := defaultTwoNodeCfg(t)
+	cfg.MsgQueueCap = 3 // exactly one 3-word message
+	net, gdt := twoNodeNetGdt(t, cfg)
+	c0 := chipNew(cfg, 0, net, gdt)
+	c1 := chipNew(cfg, 1, net, gdt)
+	// Two back-to-back sends: the second arrival finds the queue full (no
+	// handler drains it) and must be returned and buffered at the sender.
+	load(t, c0, 0, 0, `
+    movi i1, #100
+    movi i2, #5
+    movi i8, #42
+    send i1, i2, i8, #1
+    send i1, i2, i8, #1
+    halt
+`, true)
+	for i := 0; i < 40; i++ {
+		c0.Step(c0.Cycle)
+		c1.Step(c1.Cycle)
+		net.Step(c0.Cycle - 1)
+	}
+	if c0.MsgsReturned == 0 {
+		t.Error("second message should have been returned")
+	}
+	// After the resend delay, the second message cannot be accepted until
+	// the queue drains; it keeps cycling without being lost.
+	if c0.Credits() == cfg.SendCredits {
+		t.Error("returned message should still hold its credit")
+	}
+}

@@ -1,0 +1,212 @@
+// Package cluster provides the architectural state of one MAP execution
+// cluster (Figure 3): the scoreboarded integer and floating-point register
+// files holding all six V-Thread contexts, the replicated global
+// condition-code registers, and the per-H-Thread control state (program,
+// PC, run status).
+//
+// The issue pipeline that operates on this state lives in internal/chip;
+// this package owns only the state and its invariants, mirroring how the
+// paper separates the register files from the synchronization pipeline
+// stage that consults their scoreboard bits (Section 3.2).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// RegFile is one scoreboarded register file bank: a value and a full/empty
+// scoreboard bit per register (Section 3.1, "H-Thread Synchronization": "A
+// scoreboard bit associated with the destination register is cleared
+// (empty) when a multicycle operation ... issues and set (full) when the
+// result is available").
+type RegFile struct {
+	vals []isa.Word
+	full []bool
+}
+
+// NewRegFile creates a file of n registers, all full and zero. Threads
+// start with a defined, readable register state.
+func NewRegFile(n int) *RegFile {
+	rf := &RegFile{vals: make([]isa.Word, n), full: make([]bool, n)}
+	for i := range rf.full {
+		rf.full[i] = true
+	}
+	return rf
+}
+
+// Full reports the scoreboard bit of register i.
+func (rf *RegFile) Full(i int) bool { return rf.full[i] }
+
+// Get returns the value of register i; the caller must have checked Full.
+func (rf *RegFile) Get(i int) isa.Word { return rf.vals[i] }
+
+// Set writes register i and marks it full (result writeback).
+func (rf *RegFile) Set(i int, w isa.Word) {
+	rf.vals[i] = w
+	rf.full[i] = true
+}
+
+// MarkEmpty clears the scoreboard bit (issue of a multicycle op targeting
+// i, or an explicit EMPTY operation preparing an inter-cluster transfer).
+func (rf *RegFile) MarkEmpty(i int) { rf.full[i] = false }
+
+// Len returns the number of registers.
+func (rf *RegFile) Len() int { return len(rf.vals) }
+
+// ThreadStatus describes an H-Thread slot's lifecycle.
+type ThreadStatus uint8
+
+const (
+	ThreadEmpty   ThreadStatus = iota // no program loaded
+	ThreadRunning                     // eligible for issue
+	ThreadHalted                      // executed HALT
+	ThreadFaulted                     // synchronous exception (e.g. protection)
+)
+
+func (s ThreadStatus) String() string {
+	switch s {
+	case ThreadEmpty:
+		return "empty"
+	case ThreadRunning:
+		return "running"
+	case ThreadHalted:
+		return "halted"
+	case ThreadFaulted:
+		return "faulted"
+	}
+	return "?"
+}
+
+// HThread is the control state of one H-Thread: the instruction sequence it
+// executes on this cluster and its program counter.
+type HThread struct {
+	Prog       *isa.Program
+	PC         int
+	Status     ThreadStatus
+	Privileged bool // event/exception/boot threads may use privileged ops
+	FaultMsg   string
+
+	// Ints and FPs are this context's register files.
+	Ints *RegFile
+	FPs  *RegFile
+
+	// Stats.
+	Issued      uint64 // instructions issued
+	OpsIssued   uint64 // operations issued (<= 3 per instruction)
+	StallCycles uint64 // cycles this thread was resident but not issued
+}
+
+// NewHThread creates an empty H-Thread context with fresh register files.
+func NewHThread() *HThread {
+	return &HThread{
+		Ints: NewRegFile(isa.NumIntRegs),
+		FPs:  NewRegFile(isa.NumFPRegs),
+	}
+}
+
+// Load installs a program and makes the thread runnable.
+func (h *HThread) Load(p *isa.Program, privileged bool) {
+	h.Prog = p
+	h.PC = 0
+	h.Status = ThreadRunning
+	h.Privileged = privileged
+	h.FaultMsg = ""
+}
+
+// Current returns the next instruction to issue, or nil if the thread is
+// not running or has run off the end of its program.
+func (h *HThread) Current() *isa.Inst {
+	if h.Status != ThreadRunning || h.Prog == nil || h.PC >= len(h.Prog.Insts) {
+		return nil
+	}
+	return &h.Prog.Insts[h.PC]
+}
+
+// Fault transitions the thread to the faulted state with a diagnostic.
+// Protection violations are "detected in the first execution cycle" and
+// handled synchronously (Section 3.3).
+func (h *HThread) Fault(msg string) {
+	h.Status = ThreadFaulted
+	h.FaultMsg = msg
+}
+
+// File returns the register file for a class (integer or FP).
+func (h *HThread) File(c isa.RegClass) *RegFile {
+	switch c {
+	case isa.RInt:
+		return h.Ints
+	case isa.RFP:
+		return h.FPs
+	}
+	panic(fmt.Sprintf("cluster: no register file for class %d", c))
+}
+
+// GCCFile is a cluster's local copy of the global condition-code registers.
+// Each cluster holds a physical replica; broadcasts update every replica,
+// while reads and EMPTY operations act on the local copy only (Section 3.1,
+// "the map global CC registers are physically replicated on each of the
+// clusters").
+type GCCFile struct {
+	vals []isa.Word
+	full []bool
+}
+
+// NewGCCFile creates the replica with all registers empty: a gcc must be
+// produced (broadcast) before it can be consumed.
+func NewGCCFile() *GCCFile {
+	return &GCCFile{
+		vals: make([]isa.Word, isa.NumGCCRegs),
+		full: make([]bool, isa.NumGCCRegs),
+	}
+}
+
+// Full reports the local scoreboard bit.
+func (g *GCCFile) Full(i int) bool { return g.full[i] }
+
+// Get reads the local copy.
+func (g *GCCFile) Get(i int) isa.Word { return g.vals[i] }
+
+// Set writes the local copy and marks it full (one leg of a broadcast).
+func (g *GCCFile) Set(i int, w isa.Word) {
+	g.vals[i] = w
+	g.full[i] = true
+}
+
+// MarkEmpty empties the local copy (the EMPTY operation; each consumer
+// empties its own replica, enabling the barrier protocol of Figure 6).
+func (g *GCCFile) MarkEmpty(i int) { g.full[i] = false }
+
+// Cluster is the architectural state of one execution cluster: six H-Thread
+// contexts (one per V-Thread slot) and the local GCC replica. The
+// instruction cache of Figure 3 is modelled as an always-hit store: the
+// Program attached to each H-Thread.
+type Cluster struct {
+	ID      int
+	Threads [isa.NumVThreads]*HThread
+	GCC     *GCCFile
+
+	// LastIssued is the V-Thread slot that issued most recently, the
+	// rotation point for round-robin selection among ready threads.
+	LastIssued int
+}
+
+// New creates cluster id with empty thread slots.
+func New(id int) *Cluster {
+	c := &Cluster{ID: id, GCC: NewGCCFile(), LastIssued: -1}
+	for i := range c.Threads {
+		c.Threads[i] = NewHThread()
+	}
+	return c
+}
+
+// Running reports whether any thread in the given slot range is running.
+func (c *Cluster) Running(slots ...int) bool {
+	for _, s := range slots {
+		if c.Threads[s].Status == ThreadRunning {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package core
+
+// Grid smoothing at machine scale: the application story of the paper's
+// introduction ("nodes are designed to manage parallelism from the
+// instruction level to the process level... collaborating threads reside on
+// different nodes"). A 1-D grid is block-distributed across nodes; each
+// node smooths its own chunk (v[j] = u[j-1] + u[j] + u[j+1]) with purely
+// local accesses in the interior and transparent remote accesses for the
+// halo elements at chunk boundaries. Scaling the node count shrinks each
+// node's chunk while the flat shared address space keeps the program
+// unchanged except for its loop bounds.
+
+import (
+	"fmt"
+	"strings"
+)
+
+const (
+	gridTotal   = 512  // grid elements
+	gridUOffset = 512  // u chunk offset within a node's home range
+	gridVOffset = 2048 // v chunk offset within a node's home range
+)
+
+// GridScaleRow reports one machine size.
+type GridScaleRow struct {
+	Nodes   int
+	Cycles  int64
+	Speedup float64
+}
+
+// GridSmoothExperiment runs the distributed smoothing pass on 1-, 2- and
+// 4-node machines and checks the result against a host-computed reference.
+func GridSmoothExperiment() ([]GridScaleRow, error) {
+	// Reference on the host.
+	u := make([]uint64, gridTotal)
+	for j := range u {
+		u[j] = uint64(j%17 + 1)
+	}
+	want := make([]uint64, gridTotal)
+	for j := 1; j < gridTotal-1; j++ {
+		want[j] = u[j-1] + u[j] + u[j+1]
+	}
+
+	var rows []GridScaleRow
+	var base int64
+	for _, nodes := range []int{1, 2, 4} {
+		cycles, err := runGridSmooth(nodes, u, want)
+		if err != nil {
+			return nil, fmt.Errorf("grid smooth on %d nodes: %w", nodes, err)
+		}
+		if nodes == 1 {
+			base = cycles
+		}
+		rows = append(rows, GridScaleRow{
+			Nodes: nodes, Cycles: cycles,
+			Speedup: float64(base) / float64(cycles),
+		})
+	}
+	return rows, nil
+}
+
+func runGridSmooth(nodes int, u, want []uint64) (int64, error) {
+	s, err := NewSim(Options{Nodes: nodes})
+	if err != nil {
+		return 0, err
+	}
+	chunk := gridTotal / nodes
+	uAddr := func(j int) uint64 { return s.HomeBase(j/chunk) + gridUOffset + uint64(j%chunk) }
+	vAddr := func(j int) uint64 { return s.HomeBase(j/chunk) + gridVOffset + uint64(j%chunk) }
+
+	// Stage u at each owner by first touch.
+	for n := 0; n < nodes; n++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "    movi i1, #%d\n", uAddr(n*chunk))
+		for j := n * chunk; j < (n+1)*chunk; j++ {
+			fmt.Fprintf(&b, "    movi i2, #%d\n    st [i1+%d], i2\n", u[j], j-n*chunk)
+		}
+		// First-touch the v page too so workers store locally.
+		fmt.Fprintf(&b, "    movi i1, #%d\n    movi i2, #0\n    st [i1], i2\n", vAddr(n*chunk))
+		b.WriteString("    halt\n")
+		if err := s.LoadASM(n, 3, 3, b.String()); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Run(5_000_000); err != nil {
+		return 0, err
+	}
+
+	// Workers: interior sweep plus explicit boundary elements whose halo
+	// neighbours may live on another node.
+	for n := 0; n < nodes; n++ {
+		lo, hi := n*chunk, (n+1)*chunk // global [lo, hi)
+		if lo == 0 {
+			lo = 1 // global boundary clamp
+		}
+		if hi == gridTotal {
+			hi = gridTotal - 1
+		}
+		var b strings.Builder
+		// Interior: j in [n*chunk+1, (n+1)*chunk-1) — all three u accesses
+		// are in this node's chunk.
+		intLo, intHi := n*chunk+1, (n+1)*chunk-1
+		fmt.Fprintf(&b, `
+    movi i1, #%d            ; &u[intLo-1]
+    movi i2, #%d            ; &v[intLo]
+    movi i3, #0
+    movi i4, #%d            ; interior count
+loop:
+    ld i5, [i1]
+    ld i6, [i1+1]
+    ld i7, [i1+2]
+    add i8, i5, i6
+    add i8, i8, i7
+    st [i2], i8
+    add i1, i1, #1
+    add i2, i2, #1
+    add i3, i3, #1
+    lt i9, i3, i4
+    brt i9, loop
+`, uAddr(intLo-1), vAddr(intLo), intHi-intLo)
+		// Boundary elements (halo reads may be remote).
+		for _, j := range []int{n * chunk, (n+1)*chunk - 1} {
+			if j < lo || j >= hi || (j > n*chunk && j < (n+1)*chunk-1) {
+				continue
+			}
+			fmt.Fprintf(&b, `
+    movi i1, #%d
+    ld i5, [i1]
+    movi i1, #%d
+    ld i6, [i1]
+    movi i1, #%d
+    ld i7, [i1]
+    add i8, i5, i6
+    add i8, i8, i7
+    movi i1, #%d
+    st [i1], i8
+`, uAddr(j-1), uAddr(j), uAddr(j+1), vAddr(j))
+		}
+		b.WriteString("    halt\n")
+		if err := s.LoadASM(n, 0, 0, b.String()); err != nil {
+			return 0, err
+		}
+	}
+	cycles, err := s.Run(10_000_000)
+	if err != nil {
+		return 0, err
+	}
+	// Verify the full v array.
+	for j := 1; j < gridTotal-1; j++ {
+		got, err := s.Peek(j/chunk, vAddr(j))
+		if err != nil {
+			return 0, fmt.Errorf("v[%d]: %w", j, err)
+		}
+		if got != want[j] {
+			return 0, fmt.Errorf("v[%d] = %d, want %d", j, got, want[j])
+		}
+	}
+	return cycles, nil
+}
+
+// FormatGridSmooth renders the scaling table.
+func FormatGridSmooth(rows []GridScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "512-element grid smoothing, block-distributed\n")
+	fmt.Fprintf(&b, "%-6s %10s %9s\n", "nodes", "cycles", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %10d %8.2fx\n", r.Nodes, r.Cycles, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+// Package events defines the hardware event records of the M-Machine's
+// asynchronous exception mechanism (Section 3.3). Exceptions detected
+// outside the cluster — LTLB misses, block status faults, and memory
+// synchronizing faults — generate an event record identifying the faulting
+// operation and its operands, and place it in a hardware event queue. A
+// dedicated H-Thread of the event V-Thread processes the records to
+// complete the faulting operations without stopping the issuing thread.
+package events
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Type discriminates event records.
+type Type uint8
+
+const (
+	LTLBMiss Type = iota + 1
+	BlockStatus
+	SyncFault
+)
+
+func (t Type) String() string {
+	switch t {
+	case LTLBMiss:
+		return "ltlb-miss"
+	case BlockStatus:
+		return "block-status"
+	case SyncFault:
+		return "sync-fault"
+	}
+	return "?"
+}
+
+// RecordWords is the size of an event record: the hardware formats and
+// enqueues a fixed 4-word record (type/op word, faulting address, write
+// data, destination register descriptor).
+const RecordWords = 4
+
+// Record identifies a faulting memory operation precisely enough for the
+// software handler to complete it ("the faulting operation and its operands
+// are specifically identified in the event record").
+type Record struct {
+	Type    Type
+	Kind    mem.Kind     // read or write
+	Pre     isa.SyncCond // synchronizing pre/postconditions of the op
+	Post    isa.SyncCond
+	VAddr   uint64   // faulting virtual address
+	Data    isa.Word // store data (writes)
+	RegDesc uint64   // destination register descriptor (reads)
+}
+
+// Encode packs the record into its 4-word queue representation.
+func (r Record) Encode() [RecordWords]isa.Word {
+	w0 := uint64(r.Type) |
+		uint64(r.Kind)<<4 |
+		uint64(r.Pre)<<8 |
+		uint64(r.Post)<<10
+	if r.Data.Ptr {
+		w0 |= 1 << 12
+	}
+	return [RecordWords]isa.Word{
+		{Bits: w0},
+		{Bits: r.VAddr},
+		{Bits: r.Data.Bits},
+		{Bits: r.RegDesc},
+	}
+}
+
+// Decode unpacks a 4-word record.
+func Decode(w [RecordWords]isa.Word) Record {
+	w0 := w[0].Bits
+	return Record{
+		Type:    Type(w0 & 0xF),
+		Kind:    mem.Kind(w0 >> 4 & 0xF),
+		Pre:     isa.SyncCond(w0 >> 8 & 3),
+		Post:    isa.SyncCond(w0 >> 10 & 3),
+		Data:    isa.Word{Bits: w[2].Bits, Ptr: w0>>12&1 != 0},
+		VAddr:   w[1].Bits,
+		RegDesc: w[3].Bits,
+	}
+}
+
+// Request reconstructs the memory request a handler re-injects with MRETRY.
+func (r Record) Request() mem.Request {
+	return mem.Request{
+		Kind:    r.Kind,
+		Addr:    r.VAddr,
+		Data:    r.Data.Bits,
+		DataPtr: r.Data.Ptr,
+		Pre:     r.Pre,
+		Post:    r.Post,
+	}
+}
+
+// Queue is a hardware event queue: a bounded FIFO of words. Each record
+// occupies RecordWords entries; the handler H-Thread pops them one word at
+// a time through the register-mapped evq register, which stalls while the
+// queue is empty.
+type Queue struct {
+	words []isa.Word
+	cap   int
+
+	Enqueued, Dropped uint64
+	HighWater         int
+}
+
+// NewQueue creates a queue bounded to capacity words. The paper sizes the
+// queue so "every outstanding instruction" can fault; capacity 0 means
+// unbounded.
+func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
+
+// Push enqueues a record; it reports false if the queue would overflow.
+func (q *Queue) Push(r Record) bool {
+	w := r.Encode()
+	if q.cap > 0 && len(q.words)+RecordWords > q.cap {
+		q.Dropped++
+		return false
+	}
+	q.words = append(q.words, w[:]...)
+	q.Enqueued++
+	if len(q.words) > q.HighWater {
+		q.HighWater = len(q.words)
+	}
+	return true
+}
+
+// PushWords enqueues raw words (used for message bodies when a queue serves
+// as a message queue).
+func (q *Queue) PushWords(ws []isa.Word) bool {
+	if q.cap > 0 && len(q.words)+len(ws) > q.cap {
+		q.Dropped++
+		return false
+	}
+	q.words = append(q.words, ws...)
+	if len(q.words) > q.HighWater {
+		q.HighWater = len(q.words)
+	}
+	return true
+}
+
+// Empty reports whether no words are waiting.
+func (q *Queue) Empty() bool { return len(q.words) == 0 }
+
+// Len returns the number of words waiting.
+func (q *Queue) Len() int { return len(q.words) }
+
+// Pop dequeues one word; it panics if the queue is empty (the issue stage
+// must check Empty first — an evq read "will not issue if the queue is
+// empty").
+func (q *Queue) Pop() isa.Word {
+	if len(q.words) == 0 {
+		panic("events: pop from empty queue")
+	}
+	w := q.words[0]
+	q.words = q.words[1:]
+	return w
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("event{%s %s addr=%#x}", r.Type, r.Kind, r.VAddr)
+}

@@ -1,0 +1,136 @@
+package events
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: LTLBMiss, Kind: mem.ReqRead, VAddr: 0x1234, RegDesc: 0x42},
+		{Type: LTLBMiss, Kind: mem.ReqWrite, VAddr: 9, Data: isa.Word{Bits: 77, Ptr: true}},
+		{Type: BlockStatus, Kind: mem.ReqWrite, VAddr: 1 << 40, Data: isa.W(5)},
+		{Type: SyncFault, Kind: mem.ReqRead, Pre: isa.SyncFull, Post: isa.SyncEmpty, VAddr: 50, RegDesc: 0x10102},
+	}
+	for _, r := range recs {
+		got := Decode(r.Encode())
+		if got != r {
+			t.Errorf("round trip: got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(typ, kind uint8, pre, post uint8, vaddr, data, desc uint64, ptr bool) bool {
+		r := Record{
+			Type:    Type(typ%3 + 1),
+			Kind:    mem.Kind(kind % 2),
+			Pre:     isa.SyncCond(pre % 3),
+			Post:    isa.SyncCond(post % 3),
+			VAddr:   vaddr,
+			Data:    isa.Word{Bits: data, Ptr: ptr},
+			RegDesc: desc,
+		}
+		return Decode(r.Encode()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordRequest(t *testing.T) {
+	r := Record{
+		Type: SyncFault, Kind: mem.ReqWrite,
+		Pre: isa.SyncEmpty, Post: isa.SyncFull,
+		VAddr: 123, Data: isa.Word{Bits: 9, Ptr: true},
+	}
+	req := r.Request()
+	if req.Kind != mem.ReqWrite || req.Addr != 123 || req.Data != 9 || !req.DataPtr ||
+		req.Pre != isa.SyncEmpty || req.Post != isa.SyncFull {
+		t.Errorf("Request = %+v", req)
+	}
+}
+
+func TestQueuePushPopFIFO(t *testing.T) {
+	q := NewQueue(0)
+	r1 := Record{Type: LTLBMiss, VAddr: 1}
+	r2 := Record{Type: SyncFault, VAddr: 2}
+	if !q.Push(r1) || !q.Push(r2) {
+		t.Fatal("push failed on unbounded queue")
+	}
+	if q.Len() != 2*RecordWords {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	var w1 [RecordWords]isa.Word
+	for i := range w1 {
+		w1[i] = q.Pop()
+	}
+	if got := Decode(w1); got != r1 {
+		t.Errorf("first record = %+v, want %+v", got, r1)
+	}
+	var w2 [RecordWords]isa.Word
+	for i := range w2 {
+		w2[i] = q.Pop()
+	}
+	if got := Decode(w2); got != r2 {
+		t.Errorf("second record = %+v, want %+v", got, r2)
+	}
+	if !q.Empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestQueueCapacityAndDrop(t *testing.T) {
+	q := NewQueue(RecordWords) // room for exactly one record
+	if !q.Push(Record{Type: LTLBMiss}) {
+		t.Fatal("first push rejected")
+	}
+	if q.Push(Record{Type: LTLBMiss}) {
+		t.Fatal("overflow push accepted")
+	}
+	if q.Dropped != 1 || q.Enqueued != 1 {
+		t.Errorf("stats: dropped=%d enqueued=%d", q.Dropped, q.Enqueued)
+	}
+}
+
+func TestQueuePushWords(t *testing.T) {
+	q := NewQueue(3)
+	if !q.PushWords([]isa.Word{isa.W(1), isa.W(2)}) {
+		t.Fatal("push rejected")
+	}
+	if q.PushWords([]isa.Word{isa.W(3), isa.W(4)}) {
+		t.Fatal("overflow accepted")
+	}
+	if q.Pop().Bits != 1 || q.Pop().Bits != 2 {
+		t.Error("word order wrong")
+	}
+}
+
+func TestQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty queue should panic (issue stage must check Empty)")
+		}
+	}()
+	NewQueue(0).Pop()
+}
+
+func TestQueueHighWater(t *testing.T) {
+	q := NewQueue(0)
+	q.Push(Record{})
+	q.Push(Record{})
+	q.Pop()
+	if q.HighWater != 2*RecordWords {
+		t.Errorf("HighWater = %d, want %d", q.HighWater, 2*RecordWords)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if LTLBMiss.String() != "ltlb-miss" || BlockStatus.String() != "block-status" ||
+		SyncFault.String() != "sync-fault" {
+		t.Error("Type strings wrong")
+	}
+}

@@ -1,0 +1,191 @@
+package gp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRoundTrip(t *testing.T) {
+	cases := []struct {
+		perms  Perm
+		segLen uint8
+		addr   uint64
+	}{
+		{PermRead, 0, 0},
+		{PermRW, 9, 0x1000},
+		{PermAll, 20, 0x3fffffffffffff},
+		{PermKey, 63, 42},
+		{PermRead | PermExecute, 12, 1 << 30},
+	}
+	for _, c := range cases {
+		p, err := Make(c.perms, c.segLen, c.addr)
+		if err != nil {
+			t.Fatalf("Make(%v,%d,%#x): %v", c.perms, c.segLen, c.addr, err)
+		}
+		if p.Perms() != c.perms {
+			t.Errorf("perms = %v, want %v", p.Perms(), c.perms)
+		}
+		if p.SegLen() != c.segLen {
+			t.Errorf("segLen = %d, want %d", p.SegLen(), c.segLen)
+		}
+		if p.Addr() != c.addr&((1<<AddrBits)-1) {
+			t.Errorf("addr = %#x, want %#x", p.Addr(), c.addr)
+		}
+	}
+}
+
+func TestMakeRejectsBadSegLen(t *testing.T) {
+	if _, err := Make(PermRead, MaxSegLen+1, 0); !errors.Is(err, ErrSegLen) {
+		t.Fatalf("err = %v, want ErrSegLen", err)
+	}
+}
+
+func TestSegBaseAlignment(t *testing.T) {
+	p := MustMake(PermRW, 9, 0x12345) // 512-word segment
+	if got, want := p.SegBase(), uint64(0x12345)&^uint64(511); got != want {
+		t.Errorf("SegBase = %#x, want %#x", got, want)
+	}
+	if p.SegSize() != 512 {
+		t.Errorf("SegSize = %d, want 512", p.SegSize())
+	}
+}
+
+func TestAddWithinSegment(t *testing.T) {
+	p := MustMake(PermRW, 4, 0x100) // segment [0x100, 0x110)
+	q, err := p.Add(15)
+	if err != nil {
+		t.Fatalf("Add(15): %v", err)
+	}
+	if q.Addr() != 0x10f {
+		t.Errorf("addr = %#x, want 0x10f", q.Addr())
+	}
+	if q.Perms() != PermRW || q.SegLen() != 4 {
+		t.Errorf("Add changed perms/segLen: %v", q)
+	}
+	// Negative offsets back to segment base are legal.
+	r, err := q.Add(-15)
+	if err != nil {
+		t.Fatalf("Add(-15): %v", err)
+	}
+	if r != p {
+		t.Errorf("round trip = %v, want %v", r, p)
+	}
+}
+
+func TestAddCrossingSegmentFaults(t *testing.T) {
+	p := MustMake(PermRW, 4, 0x100)
+	if _, err := p.Add(16); !errors.Is(err, ErrSegment) {
+		t.Errorf("Add(16) err = %v, want ErrSegment", err)
+	}
+	if _, err := p.Add(-1); !errors.Is(err, ErrSegment) {
+		t.Errorf("Add(-1) err = %v, want ErrSegment", err)
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	ro := MustMake(PermRead, 9, 0)
+	if err := ro.CheckAccess(false); err != nil {
+		t.Errorf("read via read-only: %v", err)
+	}
+	if err := ro.CheckAccess(true); !errors.Is(err, ErrPerm) {
+		t.Errorf("write via read-only: err = %v, want ErrPerm", err)
+	}
+	wo := MustMake(PermWrite, 9, 0)
+	if err := wo.CheckAccess(false); !errors.Is(err, ErrPerm) {
+		t.Errorf("read via write-only: err = %v, want ErrPerm", err)
+	}
+	key := MustMake(PermKey|PermRead, 9, 0)
+	if err := key.CheckAccess(false); !errors.Is(err, ErrPerm) {
+		t.Errorf("data access via key: err = %v, want ErrPerm", err)
+	}
+}
+
+func TestCheckExecute(t *testing.T) {
+	x := MustMake(PermRead|PermExecute, 9, 0)
+	if err := x.CheckExecute(); err != nil {
+		t.Errorf("execute via rx: %v", err)
+	}
+	d := MustMake(PermRW, 9, 0)
+	if err := d.CheckExecute(); !errors.Is(err, ErrPerm) {
+		t.Errorf("execute via rw: err = %v, want ErrPerm", err)
+	}
+}
+
+func TestPackSetptrRoundTrip(t *testing.T) {
+	for _, perms := range []Perm{PermRead, PermRW, PermAll, PermKey} {
+		for _, l := range []uint8{0, 9, 30, MaxSegLen} {
+			gotP, gotL := UnpackSetptr(PackSetptr(perms, l))
+			if gotP != perms || gotL != l {
+				t.Errorf("round trip (%v,%d) = (%v,%d)", perms, l, gotP, gotL)
+			}
+		}
+	}
+}
+
+// Property: Add never escapes the segment — any sequence of successful Adds
+// keeps the address inside the original segment, and any Add that would
+// escape returns ErrSegment rather than a corrupted pointer.
+func TestAddStaysInSegmentProperty(t *testing.T) {
+	f := func(addr uint64, segLen uint8, off int64) bool {
+		segLen %= 40
+		addr &= (1 << AddrBits) - 1
+		p := MustMake(PermRW, segLen, addr)
+		// Bound the offset so addition cannot wrap the 54-bit space in a
+		// way that re-enters the segment from the other side.
+		off %= int64(p.SegSize()) * 4
+		q, err := p.Add(off)
+		if err != nil {
+			return errors.Is(err, ErrSegment)
+		}
+		return p.Contains(q.Addr()) && q.SegBase() == p.SegBase()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Make/accessor round trip for arbitrary field values.
+func TestMakeRoundTripProperty(t *testing.T) {
+	f := func(perms uint8, segLen uint8, addr uint64) bool {
+		segLen %= MaxSegLen + 1
+		p, err := Make(Perm(perms&0xF), segLen, addr)
+		if err != nil {
+			return false
+		}
+		return p.Perms() == Perm(perms&0xF) &&
+			p.SegLen() == segLen &&
+			p.Addr() == addr&((1<<AddrBits)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains is consistent with SegBase/SegSize.
+func TestContainsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		segLen := uint8(rng.Intn(40))
+		addr := rng.Uint64() & ((1 << AddrBits) - 1)
+		p := MustMake(PermRead, segLen, addr)
+		in := p.SegBase() + rng.Uint64()%p.SegSize()
+		if !p.Contains(in) {
+			t.Fatalf("Contains(%#x) = false for %v", in, p)
+		}
+		out := p.SegBase() + p.SegSize()
+		if out < 1<<AddrBits && p.Contains(out) {
+			t.Fatalf("Contains(%#x) = true just past segment for %v", out, p)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := PermAll.String(); got != "rwx-" {
+		t.Errorf("PermAll = %q, want rwx-", got)
+	}
+	if got := PermKey.String(); got != "---k" {
+		t.Errorf("PermKey = %q, want ---k", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package gtlb implements the M-Machine's global translation lookaside
+// buffer and the global destination table it caches (Section 4.1,
+// "Message Address Translation", Figure 8).
+//
+// A single GDT entry maps a page-group — a power-of-two number of 1024-word
+// pages — across a contiguous 3-D rectangular region of nodes whose sides
+// are powers of two. The pages-per-node field interleaves consecutive pages
+// over the region's nodes, implementing "a spectrum of block and cyclic
+// interleavings".
+//
+// Note on page size: the GTLB operates on 1024-word pages ("each page is
+// 1024 words") while the local paging system uses 512-word pages; the two
+// mechanisms are independent (Section 2: "The segmentation and paging
+// mechanisms are independent"). Both constants are kept faithfully.
+package gtlb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GTLBPageWords is the page granularity of global translation (Figure 8's
+// encoding is in units of these pages).
+const GTLBPageWords = 1024
+
+// NodeID is a physical node address in the 3-D mesh.
+type NodeID struct{ X, Y, Z int }
+
+func (n NodeID) String() string { return fmt.Sprintf("(%d,%d,%d)", n.X, n.Y, n.Z) }
+
+// Entry is one GDT/GTLB entry (Figure 8): virtual page tag, starting node,
+// log2 extents of the mapped region in each dimension, page-group length in
+// pages, and pages placed per node.
+type Entry struct {
+	VirtPage     uint64 // first GTLB page of the group (the lookup tag)
+	GroupPages   uint64 // page-group length: power of two number of pages
+	Start        NodeID // origin of the mapped region
+	ExtentLog    [3]int // log2 of the region's X, Y, Z dimensions
+	PagesPerNode uint64 // consecutive pages placed on each node
+}
+
+// Validate checks the power-of-two constraints of the encoding.
+func (e *Entry) Validate() error {
+	if e.GroupPages == 0 || e.GroupPages&(e.GroupPages-1) != 0 {
+		return fmt.Errorf("gtlb: page-group length %d not a power of two", e.GroupPages)
+	}
+	if e.PagesPerNode == 0 || e.PagesPerNode&(e.PagesPerNode-1) != 0 {
+		return fmt.Errorf("gtlb: pages-per-node %d not a power of two", e.PagesPerNode)
+	}
+	for d, l := range e.ExtentLog {
+		if l < 0 || l > 7 {
+			return fmt.Errorf("gtlb: extent log %d out of range in dim %d", l, d)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes in the mapped region.
+func (e *Entry) Nodes() uint64 {
+	return uint64(1) << (e.ExtentLog[0] + e.ExtentLog[1] + e.ExtentLog[2])
+}
+
+// Covers reports whether the entry maps the given GTLB page number.
+func (e *Entry) Covers(page uint64) bool {
+	return page >= e.VirtPage && page-e.VirtPage < e.GroupPages
+}
+
+// NodeFor translates a virtual word address covered by this entry to the
+// node holding it. Consecutive runs of PagesPerNode pages go to consecutive
+// nodes of the region in X-major order, wrapping around the region as the
+// page-group exceeds region capacity.
+func (e *Entry) NodeFor(vaddr uint64) NodeID {
+	page := vaddr / GTLBPageWords
+	rel := (page - e.VirtPage) / e.PagesPerNode % e.Nodes()
+	dx := rel & (1<<e.ExtentLog[0] - 1)
+	rel >>= e.ExtentLog[0]
+	dy := rel & (1<<e.ExtentLog[1] - 1)
+	rel >>= e.ExtentLog[1]
+	dz := rel
+	return NodeID{e.Start.X + int(dx), e.Start.Y + int(dy), e.Start.Z + int(dz)}
+}
+
+// ErrNoMapping is returned when no entry covers an address.
+var ErrNoMapping = errors.New("gtlb: no mapping for address")
+
+// Table is the software global destination table: the complete set of
+// entries, maintained by system software.
+type Table struct {
+	entries []Entry
+}
+
+// Add validates and installs an entry in the GDT.
+func (t *Table) Add(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for i := range t.entries {
+		old := &t.entries[i]
+		if e.VirtPage < old.VirtPage+old.GroupPages && old.VirtPage < e.VirtPage+e.GroupPages {
+			return fmt.Errorf("gtlb: entry overlaps existing group at page %d", old.VirtPage)
+		}
+	}
+	t.entries = append(t.entries, e)
+	return nil
+}
+
+// Lookup finds the entry covering vaddr.
+func (t *Table) Lookup(vaddr uint64) (Entry, error) {
+	page := vaddr / GTLBPageWords
+	for i := range t.entries {
+		if t.entries[i].Covers(page) {
+			return t.entries[i], nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %#x", ErrNoMapping, vaddr)
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// GTLB caches GDT entries with fully associative FIFO replacement, as the
+// hardware structure consulted by the SEND instruction and the GPROBE
+// operation.
+type GTLB struct {
+	gdt      *Table
+	resident []Entry
+	capacity int
+
+	Hits, Misses uint64
+}
+
+// New creates a GTLB of the given capacity backed by the GDT.
+func New(gdt *Table, capacity int) *GTLB {
+	return &GTLB{gdt: gdt, capacity: capacity}
+}
+
+// Translate maps a virtual address to its home node. A miss refills from
+// the GDT transparently (the refill is performed by system software in the
+// real machine; its cost is charged by the caller's handler code path).
+func (g *GTLB) Translate(vaddr uint64) (NodeID, error) {
+	page := vaddr / GTLBPageWords
+	for i := range g.resident {
+		if g.resident[i].Covers(page) {
+			g.Hits++
+			return g.resident[i].NodeFor(vaddr), nil
+		}
+	}
+	g.Misses++
+	e, err := g.gdt.Lookup(vaddr)
+	if err != nil {
+		return NodeID{}, err
+	}
+	if len(g.resident) < g.capacity {
+		g.resident = append(g.resident, e)
+	} else if g.capacity > 0 {
+		copy(g.resident, g.resident[1:])
+		g.resident[len(g.resident)-1] = e
+	}
+	return e.NodeFor(vaddr), nil
+}

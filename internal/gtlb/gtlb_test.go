@@ -1,0 +1,214 @@
+package gtlb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func entry2x2x2(pagesPerNode uint64) Entry {
+	return Entry{
+		VirtPage:     0,
+		GroupPages:   64,
+		Start:        NodeID{0, 0, 0},
+		ExtentLog:    [3]int{1, 1, 1}, // 2x2x2 = 8 nodes
+		PagesPerNode: pagesPerNode,
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	good := entry2x2x2(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid entry rejected: %v", err)
+	}
+	bad := good
+	bad.GroupPages = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two group length accepted")
+	}
+	bad = good
+	bad.PagesPerNode = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pages-per-node accepted")
+	}
+	bad = good
+	bad.ExtentLog[1] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative extent accepted")
+	}
+}
+
+func TestCyclicInterleaving(t *testing.T) {
+	// pages-per-node = 1: consecutive pages go to consecutive nodes.
+	e := entry2x2x2(1)
+	want := []NodeID{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+	}
+	for p, w := range want {
+		got := e.NodeFor(uint64(p) * GTLBPageWords)
+		if got != w {
+			t.Errorf("page %d -> %v, want %v", p, got, w)
+		}
+	}
+	// Page 8 wraps back to the first node.
+	if got := e.NodeFor(8 * GTLBPageWords); got != want[0] {
+		t.Errorf("page 8 -> %v, want wrap to %v", got, want[0])
+	}
+}
+
+func TestBlockInterleaving(t *testing.T) {
+	// pages-per-node = 8 on 8 nodes, 64-page group: node changes every 8 pages.
+	e := entry2x2x2(8)
+	if got := e.NodeFor(0); got != (NodeID{0, 0, 0}) {
+		t.Errorf("page 0 -> %v", got)
+	}
+	if got := e.NodeFor(7 * GTLBPageWords); got != (NodeID{0, 0, 0}) {
+		t.Errorf("page 7 -> %v, want node 0", got)
+	}
+	if got := e.NodeFor(8 * GTLBPageWords); got != (NodeID{1, 0, 0}) {
+		t.Errorf("page 8 -> %v, want (1,0,0)", got)
+	}
+	if got := e.NodeFor(63 * GTLBPageWords); got != (NodeID{1, 1, 1}) {
+		t.Errorf("page 63 -> %v, want (1,1,1)", got)
+	}
+}
+
+func TestStartingNodeOffset(t *testing.T) {
+	e := entry2x2x2(1)
+	e.Start = NodeID{2, 3, 4}
+	if got := e.NodeFor(0); got != (NodeID{2, 3, 4}) {
+		t.Errorf("page 0 -> %v, want start (2,3,4)", got)
+	}
+	if got := e.NodeFor(3 * GTLBPageWords); got != (NodeID{3, 4, 4}) {
+		t.Errorf("page 3 -> %v, want (3,4,4)", got)
+	}
+}
+
+func TestWordsWithinPageSameNode(t *testing.T) {
+	e := entry2x2x2(1)
+	for _, off := range []uint64{0, 1, 511, 512, 1023} {
+		if got := e.NodeFor(5*GTLBPageWords + off); got != e.NodeFor(5*GTLBPageWords) {
+			t.Fatalf("offset %d moved node: %v", off, got)
+		}
+	}
+}
+
+func TestTableAddAndLookup(t *testing.T) {
+	var gdt Table
+	if err := gdt.Add(entry2x2x2(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping group rejected.
+	if err := gdt.Add(Entry{VirtPage: 32, GroupPages: 64, PagesPerNode: 1}); err == nil {
+		t.Error("overlapping entry accepted")
+	}
+	// Adjacent group accepted.
+	e2 := Entry{VirtPage: 64, GroupPages: 16, Start: NodeID{4, 0, 0}, PagesPerNode: 1}
+	if err := gdt.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gdt.Lookup(65 * GTLBPageWords)
+	if err != nil || got.VirtPage != 64 {
+		t.Errorf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := gdt.Lookup(1000 * GTLBPageWords); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("unmapped lookup err = %v, want ErrNoMapping", err)
+	}
+	if gdt.Len() != 2 {
+		t.Errorf("Len = %d, want 2", gdt.Len())
+	}
+}
+
+func TestGTLBCachingAndStats(t *testing.T) {
+	var gdt Table
+	if err := gdt.Add(entry2x2x2(1)); err != nil {
+		t.Fatal(err)
+	}
+	g := New(&gdt, 4)
+	if _, err := g.Translate(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Misses != 1 || g.Hits != 0 {
+		t.Fatalf("after first translate: hits=%d misses=%d", g.Hits, g.Misses)
+	}
+	if _, err := g.Translate(GTLBPageWords * 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Hits != 1 {
+		t.Errorf("second translate should hit: hits=%d", g.Hits)
+	}
+	if _, err := g.Translate(1 << 40); err == nil {
+		t.Error("unmapped translate succeeded")
+	}
+}
+
+func TestGTLBEviction(t *testing.T) {
+	var gdt Table
+	for i := uint64(0); i < 3; i++ {
+		if err := gdt.Add(Entry{
+			VirtPage: i * 16, GroupPages: 16,
+			Start: NodeID{int(i), 0, 0}, PagesPerNode: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New(&gdt, 2)
+	for i := uint64(0); i < 3; i++ {
+		if _, err := g.Translate(i * 16 * GTLBPageWords); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry 0 was evicted: translating it again must miss and refill.
+	misses := g.Misses
+	if _, err := g.Translate(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Misses != misses+1 {
+		t.Errorf("expected refill miss, misses=%d", g.Misses)
+	}
+}
+
+// Property: every page of a group maps inside the region, and with
+// pages-per-node = 1 an entire region's worth of consecutive pages covers
+// every node exactly once.
+func TestNodeForStaysInRegionProperty(t *testing.T) {
+	f := func(exRaw [3]uint8, ppnExp uint8, pageOff uint16) bool {
+		var e Entry
+		total := 0
+		for d := 0; d < 3; d++ {
+			e.ExtentLog[d] = int(exRaw[d] % 3)
+			total += e.ExtentLog[d]
+		}
+		e.PagesPerNode = 1 << (ppnExp % 4)
+		e.GroupPages = e.Nodes() * e.PagesPerNode * 4
+		page := uint64(pageOff) % e.GroupPages
+		n := e.NodeFor(page * GTLBPageWords)
+		for d, c := range []int{n.X, n.Y, n.Z} {
+			if c < 0 || c >= 1<<e.ExtentLog[d] {
+				return false
+			}
+		}
+		_ = total
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicCoversAllNodesOnce(t *testing.T) {
+	e := entry2x2x2(1)
+	seen := map[NodeID]int{}
+	for p := uint64(0); p < e.Nodes(); p++ {
+		seen[e.NodeFor(p*GTLBPageWords)]++
+	}
+	if len(seen) != int(e.Nodes()) {
+		t.Fatalf("covered %d nodes, want %d", len(seen), e.Nodes())
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("node %v hit %d times", n, c)
+		}
+	}
+}

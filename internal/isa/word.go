@@ -1,0 +1,13 @@
+package isa
+
+// Word is a 64-bit machine word together with its out-of-band pointer tag
+// bit. Registers, memory words, and message body words all carry the tag so
+// guarded pointers remain unforgeable as they move through the machine
+// (Section 2; guarded pointers are described in reference [3]).
+type Word struct {
+	Bits uint64
+	Ptr  bool
+}
+
+// W builds an untagged data word.
+func W(bits uint64) Word { return Word{Bits: bits} }

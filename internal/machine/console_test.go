@@ -1,0 +1,52 @@
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+// TestConsoleDevice exercises the per-node I/O bus: a privileged program
+// writes characters and a decimal word to the memory-mapped console.
+func TestConsoleDevice(t *testing.T) {
+	m, _ := newMachine(t, 1, rt.Options{})
+	base := m.Chip(0).ConsoleBase()
+	loadUser(t, m, 0, 0, 0, fmt.Sprintf(`
+    movi i1, #%d
+    movi i2, #72            ; 'H'
+    stp [i1], i2
+    movi i2, #105           ; 'i'
+    stp [i1], i2
+    movi i2, #10            ; newline
+    stp [i1], i2
+    movi i3, #42
+    stp [i1+1], i3          ; decimal channel
+    ldp i4, [i1]            ; read back the byte count
+    halt
+`, base))
+	run(t, m, 10000)
+	if got := m.Chip(0).Console.String(); got != "Hi\n42\n" {
+		t.Errorf("console = %q, want %q", got, "Hi\n42\n")
+	}
+	if got := reg(m, 0, 0, 0, 4); got != 6 {
+		t.Errorf("byte count = %d, want 6", got)
+	}
+}
+
+// TestConsoleIsPerNode verifies nodes have independent consoles.
+func TestConsoleIsPerNode(t *testing.T) {
+	m, _ := newMachine(t, 2, rt.Options{})
+	for n := 0; n < 2; n++ {
+		loadUser(t, m, n, 0, 0, fmt.Sprintf(`
+    movi i1, #%d
+    movi i2, #%d
+    stp [i1+1], i2
+    halt
+`, m.Chip(n).ConsoleBase(), 100+n))
+	}
+	run(t, m, 10000)
+	if m.Chip(0).Console.String() != "100\n" || m.Chip(1).Console.String() != "101\n" {
+		t.Errorf("consoles = %q / %q", m.Chip(0).Console.String(), m.Chip(1).Console.String())
+	}
+}

@@ -1,0 +1,63 @@
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+// runWorkload boots a fresh machine, runs a mixed multi-node workload, and
+// returns a fingerprint of its observable state.
+func runWorkload(t *testing.T) string {
+	t.Helper()
+	m, _ := newMachine(t, 2, rt.Options{Caching: true})
+	loadUser(t, m, 0, 0, 0, `
+    movi i1, #4096
+    movi i2, #0
+    movi i3, #20
+loop:
+    st [i1], i2
+    ld i4, [i1]
+    add i5, i5, i4
+    add i1, i1, #3
+    add i2, i2, #1
+    lt i6, i2, i3
+    brt i6, loop
+    halt
+`)
+	loadUser(t, m, 1, 0, 0, `
+    movi i1, #64
+    movi i2, #0
+    movi i3, #30
+loop:
+    st [i1], i2
+    add i1, i1, #9
+    add i2, i2, #1
+    lt i6, i2, i3
+    brt i6, loop
+    halt
+`)
+	cycles, err := m.Run(500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("cycles=%d i5=%d insts=%d/%d msgs=%d hops=%d ltlb=%d/%d status=%d/%d",
+		cycles, reg(m, 0, 0, 0, 5),
+		m.Chip(0).InstsIssued, m.Chip(1).InstsIssued,
+		m.Net.Injected, m.Net.TotalHops,
+		m.Chip(0).Mem.LTLBFaults, m.Chip(1).Mem.LTLBFaults,
+		m.Chip(0).Mem.StatusFaults, m.Chip(1).Mem.StatusFaults)
+}
+
+// TestDeterminism: the simulator must be bit-reproducible — identical runs
+// produce identical cycle counts and statistics (DESIGN.md: deterministic,
+// single-goroutine cycle loop with fixed arbitration order).
+func TestDeterminism(t *testing.T) {
+	first := runWorkload(t)
+	for i := 0; i < 3; i++ {
+		if got := runWorkload(t); got != first {
+			t.Fatalf("run %d diverged:\n  %s\nvs\n  %s", i+2, got, first)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package machine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rt"
+)
+
+// randomProgram generates a valid straight-line program of random ALU and
+// memory operations. Memory addresses are masked into node 0's first pages
+// so the first-touch allocator stays in bounds.
+func randomProgram(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	reg := func() int { return 1 + rng.Intn(15) }
+	ops := []string{"add", "sub", "mul", "and", "or", "xor", "shl", "shr", "eq", "lt", "ge"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			fmt.Fprintf(&b, "    movi i%d, #%d\n", reg(), rng.Intn(1<<16)-1<<15)
+		case 1:
+			a := reg()
+			fmt.Fprintf(&b, "    and i%d, i%d, #2047\n    ld i%d, [i%d]\n", a, a, reg(), a)
+		case 2:
+			a := reg()
+			fmt.Fprintf(&b, "    and i%d, i%d, #2047\n    st [i%d], i%d\n", a, a, a, reg())
+		case 3:
+			fmt.Fprintf(&b, "    itof f%d, i%d\n", 1+rng.Intn(15), reg())
+		case 4:
+			fmt.Fprintf(&b, "    fadd f%d, f%d, f%d\n",
+				1+rng.Intn(15), 1+rng.Intn(15), 1+rng.Intn(15))
+		case 5:
+			// Division may fault on zero; the machine must survive it.
+			fmt.Fprintf(&b, "    div i%d, i%d, i%d\n", reg(), reg(), reg())
+		default:
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "    %s i%d, i%d, i%d\n", op, reg(), reg(), reg())
+			} else {
+				fmt.Fprintf(&b, "    %s i%d, i%d, #%d\n", op, reg(), reg(), rng.Intn(64))
+			}
+		}
+	}
+	b.WriteString("    halt\n")
+	return b.String()
+}
+
+// TestRandomProgramsNeverWedgeTheMachine runs randomly generated programs
+// on multiple V-Threads: the simulator must never panic, and every thread
+// must end halted or (for division by zero) faulted — never stuck.
+func TestRandomProgramsNeverWedgeTheMachine(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, _ := newMachine(t, 1, rt.Options{})
+		for vt := 0; vt < 3; vt++ {
+			loadUser(t, m, 0, vt, rng.Intn(4), randomProgram(rng, 30))
+		}
+		// Run ignores fault errors here: a div-by-zero fault is a legal
+		// outcome for random programs.
+		if _, err := m.Run(200000); err != nil && !strings.Contains(err.Error(), "faulted") {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for vt := 0; vt < 3; vt++ {
+			for cl := 0; cl < 4; cl++ {
+				th := m.Chip(0).Thread(vt, cl)
+				if th.Status == cluster.ThreadRunning {
+					t.Errorf("seed %d: thread (%d,%d) still running at pc %d",
+						seed, vt, cl, th.PC)
+				}
+			}
+		}
+	}
+}

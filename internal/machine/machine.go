@@ -1,0 +1,253 @@
+// Package machine assembles a complete M-Machine: a 3-D mesh of MAP nodes
+// (Figure 1), the shared global destination table, and the deterministic
+// cycle loop that advances every node and the network in lock step.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/cluster"
+	"repro/internal/gtlb"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// Config describes a machine.
+type Config struct {
+	Dims noc.Coord // mesh dimensions
+	Chip chip.Config
+}
+
+// DefaultConfig returns a 2x1x1 machine (the two-node setup of the paper's
+// Table 1 / Figure 9 measurements) with calibrated chip timing.
+func DefaultConfig() Config {
+	return Config{Dims: noc.Coord{X: 2, Y: 1, Z: 1}, Chip: chip.DefaultConfig()}
+}
+
+// Machine is a collection of nodes connected by the mesh.
+type Machine struct {
+	Cfg   Config
+	Net   *noc.Network
+	GDT   *gtlb.Table
+	Chips []*chip.Chip
+
+	Cycle int64
+
+	// nextPPN allocates physical pages per node for MapLocal; runtime
+	// handlers allocate from a separate high region (see AllocBase).
+	nextPPN []uint64
+}
+
+// Reserved physical layout (words). The LPT base comes from the memory
+// config; the runtime scratch and page allocator sit just above it.
+const (
+	// FirstMapPPN is the first physical page used by MapLocal.
+	FirstMapPPN = 16
+)
+
+// ScratchBase returns the physical address of the runtime scratch area.
+func ScratchBase(c mem.Config) uint64 {
+	return c.LPT.Base + c.LPT.Entries*mem.PTEWords
+}
+
+// AllocCounterAddr returns the physical word holding the runtime page
+// allocator's next free PPN.
+func AllocCounterAddr(c mem.Config) uint64 { return ScratchBase(c) + 64 }
+
+// AllocBasePPN returns the first PPN handed out by the runtime allocator.
+func AllocBasePPN(c mem.Config) uint64 {
+	return (AllocCounterAddr(c) + 64 + mem.PageWords) / mem.PageWords
+}
+
+// New builds the machine: one chip per mesh coordinate, all sharing the
+// network and GDT.
+func New(cfg Config) *Machine {
+	net := noc.New(cfg.Dims, cfg.Chip.Net)
+	gdt := &gtlb.Table{}
+	m := &Machine{
+		Cfg:     cfg,
+		Net:     net,
+		GDT:     gdt,
+		Chips:   make([]*chip.Chip, net.NumNodes()),
+		nextPPN: make([]uint64, net.NumNodes()),
+	}
+	for i := range m.Chips {
+		c := chip.New(cfg.Chip, net.CoordOf(i), i, net, gdt)
+		// Initialize the runtime page allocator counter.
+		c.Mem.SDRAM.Write(AllocCounterAddr(cfg.Chip.Mem), AllocBasePPN(cfg.Chip.Mem), false)
+		m.Chips[i] = c
+		m.nextPPN[i] = FirstMapPPN
+	}
+	return m
+}
+
+// NumNodes returns the node count.
+func (m *Machine) NumNodes() int { return len(m.Chips) }
+
+// Chip returns node i's processor.
+func (m *Machine) Chip(i int) *chip.Chip { return m.Chips[i] }
+
+// Step advances the whole machine one cycle.
+func (m *Machine) Step() {
+	for _, c := range m.Chips {
+		c.Step(m.Cycle)
+	}
+	m.Net.Step(m.Cycle)
+	m.Cycle++
+}
+
+// UserDone reports whether every loaded user H-Thread has halted or
+// faulted.
+func (m *Machine) UserDone() bool {
+	for _, c := range m.Chips {
+		for vt := 0; vt < isa.NumUserSlots; vt++ {
+			for cl := 0; cl < isa.NumClusters; cl++ {
+				if c.Thread(vt, cl).Status == cluster.ThreadRunning {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether no node or the network has outstanding work.
+func (m *Machine) Quiescent() bool {
+	if !m.Net.Quiescent() {
+		return false
+	}
+	for _, c := range m.Chips {
+		if !c.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// quietWindow is the number of consecutive idle cycles Run requires before
+// declaring the machine done: user threads may halt while event handlers
+// are still mid-record, so quiescence is confirmed by observing no
+// instruction issue anywhere with all queues drained.
+const quietWindow = 32
+
+// Run steps until all user threads are done and the machine has been
+// quiescent (no queued work and no instruction issued) for quietWindow
+// cycles, or maxCycles elapse. It returns the cycles executed (excluding
+// the quiet window) and an error on timeout or if any user thread faulted.
+func (m *Machine) Run(maxCycles int64) (int64, error) {
+	start := m.Cycle
+	idle := int64(0)
+	prevIssued := m.totalIssued()
+	for m.Cycle-start < maxCycles+quietWindow {
+		if m.UserDone() && m.Quiescent() {
+			if issued := m.totalIssued(); issued == prevIssued {
+				idle++
+				if idle >= quietWindow {
+					return m.Cycle - start - idle, m.FaultError()
+				}
+			} else {
+				prevIssued, idle = issued, 0
+			}
+		} else {
+			prevIssued, idle = m.totalIssued(), 0
+		}
+		m.Step()
+	}
+	if m.UserDone() {
+		return m.Cycle - start, m.FaultError()
+	}
+	return m.Cycle - start, fmt.Errorf("machine: no completion within %d cycles", maxCycles)
+}
+
+func (m *Machine) totalIssued() uint64 {
+	var n uint64
+	for _, c := range m.Chips {
+		n += c.InstsIssued
+	}
+	return n
+}
+
+// RunUntil steps until pred holds or maxCycles elapse.
+func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
+	start := m.Cycle
+	for m.Cycle-start < maxCycles {
+		if pred() {
+			return m.Cycle - start, nil
+		}
+		m.Step()
+	}
+	return m.Cycle - start, fmt.Errorf("machine: condition not met within %d cycles", maxCycles)
+}
+
+// FaultError collects user-thread fault diagnostics, nil if none.
+func (m *Machine) FaultError() error {
+	for i, c := range m.Chips {
+		for vt := 0; vt < isa.NumUserSlots; vt++ {
+			for cl := 0; cl < isa.NumClusters; cl++ {
+				th := c.Thread(vt, cl)
+				if th.Status == cluster.ThreadFaulted {
+					return fmt.Errorf("machine: node %d vthread %d cluster %d faulted: %s",
+						i, vt, cl, th.FaultMsg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MapPageGroup installs a GDT entry distributing a virtual range across
+// nodes (Figure 8).
+func (m *Machine) MapPageGroup(e gtlb.Entry) error { return m.GDT.Add(e) }
+
+// MapNodeRange maps npages GTLB pages starting at vaddr to a single node —
+// the common "this range lives on node n" case.
+func (m *Machine) MapNodeRange(vaddr uint64, npages uint64, node int) error {
+	// Round npages up to a power of two, as the encoding requires.
+	gp := uint64(1)
+	for gp < npages {
+		gp *= 2
+	}
+	c := m.Net.CoordOf(node)
+	return m.GDT.Add(gtlb.Entry{
+		VirtPage:     vaddr / gtlb.GTLBPageWords,
+		GroupPages:   gp,
+		Start:        gtlb.NodeID{X: c.X, Y: c.Y, Z: c.Z},
+		ExtentLog:    [3]int{0, 0, 0},
+		PagesPerNode: gp,
+	})
+}
+
+// MapLocal creates a local (512-word) page mapping vpn on the given node,
+// allocating a physical page, with all blocks in status s. If prime is
+// true the LTLB is primed; otherwise only the LPT holds the entry and the
+// first access takes an LTLB miss.
+func (m *Machine) MapLocal(node int, vpn uint64, s mem.BlockStatus, prime bool) uint64 {
+	ppn := m.nextPPN[node]
+	m.nextPPN[node]++
+	if prime {
+		m.Chips[node].Mem.MapPage(vpn, ppn, s)
+	} else {
+		m.Chips[node].Mem.MapPageLPTOnly(vpn, ppn, s)
+	}
+	return ppn
+}
+
+// Poke writes a word at a node's virtual address (boot/test path).
+func (m *Machine) Poke(node int, vaddr, w uint64) error {
+	return m.Chips[node].Mem.PokeVirt(vaddr, w, false)
+}
+
+// Peek reads a word at a node's virtual address (boot/test path).
+func (m *Machine) Peek(node int, vaddr uint64) (uint64, error) {
+	w, _, err := m.Chips[node].Mem.PeekVirt(vaddr)
+	return w, err
+}
+
+// SetTrace installs a trace callback on every chip.
+func (m *Machine) SetTrace(fn func(cycle int64, node int, event, detail string)) {
+	for _, c := range m.Chips {
+		c.Trace = fn
+	}
+}

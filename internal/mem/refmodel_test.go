@@ -1,0 +1,160 @@
+package mem
+
+// Reference-model property test: a random sequence of timed reads and
+// writes through the full cache/LTLB/SDRAM pipeline must behave exactly
+// like a flat array. This catches writeback, fill, coherence-on-poke, and
+// interleaving bugs that single-shot tests miss.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestRandomTrafficMatchesFlatModel(t *testing.T) {
+	const (
+		pages = 4
+		span  = pages * PageWords
+		ops   = 4000
+	)
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewSystem(DefaultConfig())
+		for p := uint64(0); p < pages; p++ {
+			m.MapPage(p, p, BSReadWrite)
+		}
+		ref := make([]uint64, span)
+
+		now := int64(0)
+		type pendingRead struct {
+			addr uint64
+			want uint64
+		}
+		pending := map[uint64]pendingRead{} // token -> expectation
+		tok := uint64(0)
+
+		check := func(r Response) {
+			if r.Fault != FaultNone {
+				t.Fatalf("seed %d: unexpected fault %v at %#x", seed, r.Fault, r.Req.Addr)
+			}
+			if p, ok := pending[r.Req.Token]; ok {
+				if r.Data != p.want {
+					t.Fatalf("seed %d: read %#x = %d, want %d", seed, p.addr, r.Data, p.want)
+				}
+				delete(pending, r.Req.Token)
+			}
+		}
+
+		issued := 0
+		for issued < ops {
+			addr := uint64(rng.Intn(span))
+			if m.CanAccept(now, addr) {
+				tok++
+				if rng.Intn(2) == 0 {
+					v := rng.Uint64()
+					ref[addr] = v
+					m.Submit(now, Request{Kind: ReqWrite, Addr: addr, Data: v, Token: tok})
+				} else {
+					// Expectation is the reference value at submit time:
+					// effects apply at submit in this model.
+					pending[tok] = pendingRead{addr, ref[addr]}
+					m.Submit(now, Request{Kind: ReqRead, Addr: addr, Token: tok})
+				}
+				issued++
+			}
+			for _, r := range m.Step(now) {
+				check(r)
+			}
+			now++
+		}
+		for m.Pending() > 0 {
+			for _, r := range m.Step(now) {
+				check(r)
+			}
+			now++
+		}
+		if len(pending) != 0 {
+			t.Fatalf("seed %d: %d reads never completed", seed, len(pending))
+		}
+		// Final memory state: flush the cache and compare SDRAM to the
+		// reference array.
+		m.Cache.FlushAll(m.SDRAM)
+		for a := uint64(0); a < span; a++ {
+			if w, _ := m.SDRAM.Read(a); w != ref[a] {
+				t.Fatalf("seed %d: final word %#x = %d, want %d", seed, a, w, ref[a])
+			}
+		}
+	}
+}
+
+func TestRandomSyncTrafficKeepsBitsConsistent(t *testing.T) {
+	// Random sync stores/loads with a reference bit model: the memory
+	// system's sync bits must track pre/post semantics exactly.
+	rng := rand.New(rand.NewSource(7))
+	m := NewSystem(DefaultConfig())
+	m.MapPage(0, 0, BSReadWrite)
+	refBits := make([]bool, 64)
+	now := int64(0)
+	for i := 0; i < 1500; i++ {
+		addr := uint64(rng.Intn(64))
+		for !m.CanAccept(now, addr) {
+			for range m.Step(now) {
+			}
+			now++
+		}
+		var pre, post uint8
+		pre, post = uint8(rng.Intn(3)), uint8(rng.Intn(3))
+		req := Request{
+			Kind:  ReqWrite,
+			Addr:  addr,
+			Data:  uint64(i),
+			Pre:   cond(pre),
+			Post:  cond(post),
+			Token: uint64(i),
+		}
+		if rng.Intn(2) == 0 {
+			req.Kind = ReqRead
+		}
+		// Predict: fault iff precondition mismatches the reference bit.
+		wantFault := (pre == 1 && !refBits[addr]) || (pre == 2 && refBits[addr])
+		if !wantFault {
+			switch post {
+			case 1:
+				refBits[addr] = true
+			case 2:
+				refBits[addr] = false
+			}
+		}
+		m.Submit(now, req)
+		var got *Response
+		for got == nil {
+			for _, r := range m.Step(now) {
+				if r.Req.Token == uint64(i) {
+					rr := r
+					got = &rr
+				}
+			}
+			now++
+		}
+		if (got.Fault == FaultSync) != wantFault {
+			t.Fatalf("op %d at %d: fault=%v, want %v", i, addr, got.Fault, wantFault)
+		}
+	}
+	for a := uint64(0); a < 64; a++ {
+		pa, _ := m.Translate(a)
+		if m.SDRAM.SyncBit(pa) != refBits[a] {
+			t.Fatalf("sync bit %d = %v, want %v", a, m.SDRAM.SyncBit(pa), refBits[a])
+		}
+	}
+}
+
+func cond(v uint8) isa.SyncCond {
+	switch v {
+	case 1:
+		return isa.SyncFull
+	case 2:
+		return isa.SyncEmpty
+	}
+	return isa.SyncAny
+}

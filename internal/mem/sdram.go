@@ -1,0 +1,132 @@
+// Package mem implements an M-Machine node's memory system (Section 2,
+// "Memory System", and Section 4.3): the external SDRAM with page-mode
+// timing, the four word-interleaved on-chip cache banks, the local
+// translation lookaside buffer (LTLB) backed by a local page table (LPT)
+// resident in physical memory, the per-cache-block status bits used for
+// caching remote data in local DRAM, and the per-word synchronization bits.
+//
+// All addresses are 64-bit word addresses. Pages are 512 words and cache
+// blocks 8 words, exactly as in the paper.
+package mem
+
+import "fmt"
+
+// Architectural constants (Section 2).
+const (
+	PageWords     = 512 // "Pages are 512 words"
+	BlockWords    = 8   // "(64 8-word cache blocks)"
+	BlocksPerPage = PageWords / BlockWords
+)
+
+// SDRAMConfig carries the external memory interface timing (Section 2: "The
+// SDRAM controller exploits the pipeline and page mode of the external
+// memory").
+type SDRAMConfig struct {
+	Words      uint64 // physical memory size in words (1 MW = 8 MBytes per node)
+	RowWords   uint64 // words per SDRAM row (page-mode granularity)
+	RowHitLat  int64  // block access latency when the row is already open
+	RowMissLat int64  // block access latency when a new row must be opened
+}
+
+// DefaultSDRAMConfig matches the paper's 1 MW (8 MByte) node and is
+// calibrated so that a local cache-miss read completes in 13 cycles and a
+// local cache-miss write in 19 (Table 1).
+func DefaultSDRAMConfig() SDRAMConfig {
+	return SDRAMConfig{
+		Words:      1 << 20, // 1 MW = 8 MBytes
+		RowWords:   1024,
+		RowHitLat:  10,
+		RowMissLat: 14,
+	}
+}
+
+// SDRAM models a node's local synchronous DRAM: the word array plus the
+// out-of-band pointer-tag and synchronization bits, and page-mode timing
+// state. The SECDED error control of the paper's controller is represented
+// by the (always-passing) integrity of the Go arrays; no latency is added,
+// matching a no-error run.
+type SDRAM struct {
+	cfg     SDRAMConfig
+	words   []uint64
+	ptrTags bitset
+	sync    bitset
+	openRow uint64
+	hasOpen bool
+
+	// Stats.
+	RowHits, RowMisses uint64
+}
+
+// NewSDRAM allocates the physical memory arrays.
+func NewSDRAM(cfg SDRAMConfig) *SDRAM {
+	return &SDRAM{
+		cfg:     cfg,
+		words:   make([]uint64, cfg.Words),
+		ptrTags: newBitset(cfg.Words),
+		sync:    newBitset(cfg.Words),
+	}
+}
+
+// Size returns the physical capacity in words.
+func (s *SDRAM) Size() uint64 { return s.cfg.Words }
+
+func (s *SDRAM) check(pa uint64) {
+	if pa >= s.cfg.Words {
+		panic(fmt.Sprintf("mem: physical address %#x out of range (%#x words)", pa, s.cfg.Words))
+	}
+}
+
+// Read returns the word and pointer tag at physical address pa.
+func (s *SDRAM) Read(pa uint64) (uint64, bool) {
+	s.check(pa)
+	return s.words[pa], s.ptrTags.get(pa)
+}
+
+// Write stores a word and its pointer tag at physical address pa.
+func (s *SDRAM) Write(pa uint64, w uint64, ptr bool) {
+	s.check(pa)
+	s.words[pa] = w
+	s.ptrTags.set(pa, ptr)
+}
+
+// SyncBit returns the synchronization bit for physical address pa.
+func (s *SDRAM) SyncBit(pa uint64) bool {
+	s.check(pa)
+	return s.sync.get(pa)
+}
+
+// SetSyncBit sets or clears the synchronization bit for pa.
+func (s *SDRAM) SetSyncBit(pa uint64, full bool) {
+	s.check(pa)
+	s.sync.set(pa, full)
+}
+
+// AccessLatency returns the latency of a block access beginning at physical
+// address pa and records the row state transition (page mode).
+func (s *SDRAM) AccessLatency(pa uint64) int64 {
+	s.check(pa)
+	row := pa / s.cfg.RowWords
+	if s.hasOpen && row == s.openRow {
+		s.RowHits++
+		return s.cfg.RowHitLat
+	}
+	s.openRow = row
+	s.hasOpen = true
+	s.RowMisses++
+	return s.cfg.RowMissLat
+}
+
+// bitset is a packed bit array used for the out-of-band per-word state.
+type bitset []uint64
+
+func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) set(i uint64, v bool) {
+	if v {
+		b[i/64] |= 1 << (i % 64)
+	} else {
+		b[i/64] &^= 1 << (i % 64)
+	}
+}

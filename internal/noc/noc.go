@@ -1,0 +1,287 @@
+// Package noc models the M-Machine's interconnection network: a
+// bidirectional 3-D mesh with dimension-order routing and two message
+// priorities — priority 0 for user requests and priority 1 for system-level
+// replies, "thus avoiding deadlock" (Sections 2 and 4.1).
+//
+// The model is message-granular store-and-forward: each message advances
+// one hop per cycle per free link, with separate virtual channels per
+// priority so replies never wait behind requests. The real router is a
+// wormhole design; the store-and-forward abstraction preserves the latency
+// shape (per-hop cost plus injection/delivery overhead, calibrated to the
+// paper's 5-cycle neighbour delivery) and the priority separation, which is
+// what the paper's experiments exercise.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// NumPriorities is the number of network priorities (requests and replies).
+const NumPriorities = 2
+
+// Coord is a node position in the 3-D mesh.
+type Coord struct{ X, Y, Z int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// Message is one network message: the hardware-prepended destination and
+// dispatch instruction pointer followed by the body composed in general
+// registers (Section 4.1, "Message Injection").
+type Message struct {
+	Pri      int
+	Src, Dst Coord
+	DIP      uint64     // dispatch instruction pointer
+	DstAddr  uint64     // the virtual address the message was sent to
+	Body     []isa.Word // body words (tag bits preserved)
+	Seq      uint64     // injection sequence, for deterministic ordering
+
+	// Hardware acknowledgement fields for the return-to-sender throttling
+	// protocol (Section 4.1): when a message reaches its destination "a
+	// reply is sent indicating whether the destination was able to handle
+	// the message". Acks travel at priority 1 and are consumed by the
+	// network output hardware, never by software.
+	HWAck bool
+	AckOK bool     // destination consumed the message
+	Orig  *Message // the returned message contents when AckOK is false
+
+	InjectedAt  int64 // cycle the SEND issued
+	DeliveredAt int64 // cycle the message reached the destination queue
+	Hops        int
+}
+
+// Len returns the total message length in words as the hardware counts it:
+// DIP + destination address + body.
+func (m *Message) Len() int { return 2 + len(m.Body) }
+
+// Config carries network timing, calibrated so that a neighbour-to-neighbour
+// delivery costs 5 cycles (Section 4.2, step 4: "Message delivered to remote
+// node (5 cycles)").
+type Config struct {
+	InjectLat  int64 // network output interface: SEND issue to first hop
+	HopLat     int64 // per-hop router traversal
+	DeliverLat int64 // network input interface: last hop to queue visible
+}
+
+// DefaultConfig returns the calibrated timing.
+func DefaultConfig() Config { return Config{InjectLat: 2, HopLat: 1, DeliverLat: 2} }
+
+type inflight struct {
+	msg     *Message
+	at      Coord // current node
+	readyAt int64 // cycle the next hop may begin
+}
+
+type linkKey struct {
+	from Coord
+	dim  int // 0=X, 1=Y, 2=Z
+	neg  bool
+	pri  int
+}
+
+// Network is the 3-D mesh interconnect shared by all nodes.
+type Network struct {
+	cfg    Config
+	dims   Coord
+	flight []inflight
+	seq    uint64
+	// linkBusy enforces one message per link per priority per cycle.
+	linkBusy map[linkKey]int64
+	// arrivals holds delivered messages per node per priority until the
+	// node's network input interface consumes them.
+	arrivals map[Coord]*[NumPriorities][]*Message
+
+	// Stats.
+	Injected, Delivered uint64
+	TotalHops           uint64
+}
+
+// New creates a mesh of the given dimensions.
+func New(dims Coord, cfg Config) *Network {
+	if dims.X < 1 || dims.Y < 1 || dims.Z < 1 {
+		panic(fmt.Sprintf("noc: bad mesh dimensions %v", dims))
+	}
+	return &Network{
+		cfg:      cfg,
+		dims:     dims,
+		linkBusy: make(map[linkKey]int64),
+		arrivals: make(map[Coord]*[NumPriorities][]*Message),
+	}
+}
+
+// Dims returns the mesh dimensions.
+func (n *Network) Dims() Coord { return n.dims }
+
+// NumNodes returns the total node count.
+func (n *Network) NumNodes() int { return n.dims.X * n.dims.Y * n.dims.Z }
+
+// Index linearizes a coordinate (X-major, matching the GTLB's ordering).
+func (n *Network) Index(c Coord) int {
+	return c.X + n.dims.X*(c.Y+n.dims.Y*c.Z)
+}
+
+// CoordOf inverts Index.
+func (n *Network) CoordOf(i int) Coord {
+	return Coord{
+		X: i % n.dims.X,
+		Y: i / n.dims.X % n.dims.Y,
+		Z: i / (n.dims.X * n.dims.Y),
+	}
+}
+
+// InMesh reports whether c is a valid node coordinate.
+func (n *Network) InMesh(c Coord) bool {
+	return c.X >= 0 && c.X < n.dims.X &&
+		c.Y >= 0 && c.Y < n.dims.Y &&
+		c.Z >= 0 && c.Z < n.dims.Z
+}
+
+// Inject launches a message at cycle now. The caller (the SEND datapath)
+// has already performed protection checks and throttling.
+func (n *Network) Inject(now int64, m *Message) {
+	if !n.InMesh(m.Dst) {
+		panic(fmt.Sprintf("noc: destination %v outside mesh %v", m.Dst, n.dims))
+	}
+	if m.Pri < 0 || m.Pri >= NumPriorities {
+		panic(fmt.Sprintf("noc: bad priority %d", m.Pri))
+	}
+	m.Seq = n.seq
+	n.seq++
+	m.InjectedAt = now
+	n.Injected++
+	n.flight = append(n.flight, inflight{
+		msg:     m,
+		at:      m.Src,
+		readyAt: now + n.cfg.InjectLat,
+	})
+}
+
+// Step advances the network by one cycle; now is the current cycle. Higher
+// priority (replies) wins link arbitration via its separate virtual channel;
+// within a priority, older messages win.
+func (n *Network) Step(now int64) {
+	// Deterministic order: by readiness, then priority (1 first), then age.
+	sort.SliceStable(n.flight, func(i, j int) bool {
+		a, b := n.flight[i], n.flight[j]
+		if a.msg.Pri != b.msg.Pri {
+			return a.msg.Pri > b.msg.Pri
+		}
+		return a.msg.Seq < b.msg.Seq
+	})
+	var remaining []inflight
+	for _, f := range n.flight {
+		if f.readyAt > now {
+			remaining = append(remaining, f)
+			continue
+		}
+		if f.at == f.msg.Dst {
+			// Delivery into the node's hardware message queue.
+			q := n.queues(f.at)
+			q[f.msg.Pri] = append(q[f.msg.Pri], f.msg)
+			f.msg.DeliveredAt = now
+			n.Delivered++
+			continue
+		}
+		dim, neg := nextHop(f.at, f.msg.Dst)
+		key := linkKey{from: f.at, dim: dim, neg: neg, pri: f.msg.Pri}
+		if n.linkBusy[key] == now+1 {
+			// Link already granted this cycle: wait.
+			f.readyAt = now + 1
+			remaining = append(remaining, f)
+			continue
+		}
+		n.linkBusy[key] = now + 1
+		f.at = move(f.at, dim, neg)
+		f.msg.Hops++
+		n.TotalHops++
+		if f.at == f.msg.Dst {
+			f.readyAt = now + n.cfg.HopLat + n.cfg.DeliverLat
+		} else {
+			f.readyAt = now + n.cfg.HopLat
+		}
+		remaining = append(remaining, f)
+	}
+	n.flight = remaining
+}
+
+// nextHop applies dimension-order (X, then Y, then Z) routing.
+func nextHop(at, dst Coord) (dim int, neg bool) {
+	switch {
+	case at.X != dst.X:
+		return 0, dst.X < at.X
+	case at.Y != dst.Y:
+		return 1, dst.Y < at.Y
+	default:
+		return 2, dst.Z < at.Z
+	}
+}
+
+func move(c Coord, dim int, neg bool) Coord {
+	d := 1
+	if neg {
+		d = -1
+	}
+	switch dim {
+	case 0:
+		c.X += d
+	case 1:
+		c.Y += d
+	default:
+		c.Z += d
+	}
+	return c
+}
+
+func (n *Network) queues(c Coord) *[NumPriorities][]*Message {
+	q := n.arrivals[c]
+	if q == nil {
+		q = new([NumPriorities][]*Message)
+		n.arrivals[c] = q
+	}
+	return q
+}
+
+// Pop removes and returns the oldest delivered message of the given
+// priority at node c, or nil if none is waiting.
+func (n *Network) Pop(c Coord, pri int) *Message {
+	q := n.queues(c)
+	if len(q[pri]) == 0 {
+		return nil
+	}
+	m := q[pri][0]
+	q[pri] = q[pri][1:]
+	return m
+}
+
+// PendingAt reports the number of delivered-but-unconsumed messages at c.
+func (n *Network) PendingAt(c Coord, pri int) int { return len(n.queues(c)[pri]) }
+
+// InFlight reports the number of messages still travelling.
+func (n *Network) InFlight() int { return len(n.flight) }
+
+// Quiescent reports whether no messages are in flight or waiting anywhere.
+func (n *Network) Quiescent() bool {
+	if len(n.flight) > 0 {
+		return false
+	}
+	for _, q := range n.arrivals {
+		if len(q[0])+len(q[1]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance returns the Manhattan hop count between two nodes.
+func Distance(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y) + abs(a.Z-b.Z)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func stepUntilDelivered(t *testing.T, n *Network, dst Coord, pri int, limit int64) *Message {
+	t.Helper()
+	for now := int64(0); now < limit; now++ {
+		n.Step(now)
+		if m := n.Pop(dst, pri); m != nil {
+			return m
+		}
+	}
+	t.Fatalf("no delivery at %v pri %d within %d cycles", dst, pri, limit)
+	return nil
+}
+
+func TestNeighbourDeliveryIsFiveCycles(t *testing.T) {
+	n := New(Coord{2, 1, 1}, DefaultConfig())
+	m := &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}, DIP: 7, Body: []isa.Word{isa.W(42)}}
+	n.Inject(0, m)
+	got := stepUntilDelivered(t, n, Coord{1, 0, 0}, 0, 100)
+	// Paper, Section 4.2 step 4: "Message delivered to remote node (5 cycles)".
+	if got.DeliveredAt != 5 {
+		t.Errorf("neighbour delivery = %d cycles, want 5", got.DeliveredAt)
+	}
+	if got.DIP != 7 || got.Body[0].Bits != 42 {
+		t.Errorf("message corrupted: %+v", got)
+	}
+}
+
+func TestLatencyGrowsWithDistance(t *testing.T) {
+	var prev int64 = -1
+	for d := 1; d <= 3; d++ {
+		n := New(Coord{4, 4, 4}, DefaultConfig())
+		m := &Message{Src: Coord{0, 0, 0}, Dst: Coord{d, 0, 0}}
+		n.Inject(0, m)
+		got := stepUntilDelivered(t, n, m.Dst, 0, 100)
+		lat := got.DeliveredAt - got.InjectedAt
+		if lat <= prev {
+			t.Errorf("distance %d latency %d not monotonic (prev %d)", d, lat, prev)
+		}
+		prev = lat
+		if got.Hops != d {
+			t.Errorf("distance %d: hops = %d", d, got.Hops)
+		}
+	}
+}
+
+func TestDimensionOrderRouting(t *testing.T) {
+	n := New(Coord{3, 3, 3}, DefaultConfig())
+	m := &Message{Src: Coord{0, 0, 0}, Dst: Coord{2, 1, 2}}
+	n.Inject(0, m)
+	got := stepUntilDelivered(t, n, m.Dst, 0, 200)
+	if got.Hops != Distance(m.Src, m.Dst) {
+		t.Errorf("hops = %d, want Manhattan distance %d", got.Hops, Distance(m.Src, m.Dst))
+	}
+}
+
+func TestPrioritySeparation(t *testing.T) {
+	// A reply (pri 1) must not wait behind a flood of requests (pri 0)
+	// sharing the same physical links.
+	n := New(Coord{2, 1, 1}, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		n.Inject(0, &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}, Pri: 0})
+	}
+	reply := &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}, Pri: 1}
+	n.Inject(0, reply)
+	got := stepUntilDelivered(t, n, Coord{1, 0, 0}, 1, 200)
+	if got.DeliveredAt != 5 {
+		t.Errorf("reply delivery = %d cycles under request flood, want 5", got.DeliveredAt)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	n := New(Coord{2, 1, 1}, DefaultConfig())
+	a := &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}}
+	b := &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}}
+	n.Inject(0, a)
+	n.Inject(0, b)
+	for now := int64(0); now < 50; now++ {
+		n.Step(now)
+	}
+	first := n.Pop(Coord{1, 0, 0}, 0)
+	second := n.Pop(Coord{1, 0, 0}, 0)
+	if first == nil || second == nil {
+		t.Fatal("both messages should arrive")
+	}
+	if first.Seq != a.Seq {
+		t.Errorf("older message delivered second")
+	}
+	if second.DeliveredAt <= first.DeliveredAt {
+		t.Errorf("contending messages delivered at %d and %d, want serialized",
+			first.DeliveredAt, second.DeliveredAt)
+	}
+}
+
+func TestFIFOOrderPerPriority(t *testing.T) {
+	n := New(Coord{4, 1, 1}, DefaultConfig())
+	for i := uint64(0); i < 5; i++ {
+		n.Inject(int64(i), &Message{Src: Coord{0, 0, 0}, Dst: Coord{3, 0, 0}, DIP: i})
+	}
+	for now := int64(0); now < 100; now++ {
+		n.Step(now)
+	}
+	for i := uint64(0); i < 5; i++ {
+		m := n.Pop(Coord{3, 0, 0}, 0)
+		if m == nil || m.DIP != i {
+			t.Fatalf("delivery %d = %+v, want DIP %d", i, m, i)
+		}
+	}
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	n := New(Coord{3, 4, 5}, DefaultConfig())
+	for i := 0; i < n.NumNodes(); i++ {
+		c := n.CoordOf(i)
+		if !n.InMesh(c) {
+			t.Fatalf("CoordOf(%d) = %v not in mesh", i, c)
+		}
+		if n.Index(c) != i {
+			t.Fatalf("Index(CoordOf(%d)) = %d", i, n.Index(c))
+		}
+	}
+	if n.InMesh(Coord{3, 0, 0}) {
+		t.Error("out-of-range coord reported in mesh")
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	n := New(Coord{2, 1, 1}, DefaultConfig())
+	if !n.Quiescent() {
+		t.Fatal("fresh network not quiescent")
+	}
+	n.Inject(0, &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 0, 0}})
+	if n.Quiescent() {
+		t.Fatal("network with in-flight message reported quiescent")
+	}
+	for now := int64(0); now < 20; now++ {
+		n.Step(now)
+	}
+	if n.Quiescent() {
+		t.Fatal("undelivered-but-queued message should keep network non-quiescent")
+	}
+	n.Pop(Coord{1, 0, 0}, 0)
+	if !n.Quiescent() {
+		t.Fatal("network should be quiescent after consumption")
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	// A node may send to itself (e.g. a local page mapped through the GTLB).
+	n := New(Coord{1, 1, 1}, DefaultConfig())
+	n.Inject(0, &Message{Src: Coord{0, 0, 0}, Dst: Coord{0, 0, 0}, DIP: 9})
+	m := stepUntilDelivered(t, n, Coord{0, 0, 0}, 0, 50)
+	if m.DIP != 9 || m.Hops != 0 {
+		t.Errorf("self delivery = %+v", m)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New(Coord{2, 2, 1}, DefaultConfig())
+	n.Inject(0, &Message{Src: Coord{0, 0, 0}, Dst: Coord{1, 1, 0}})
+	for now := int64(0); now < 50; now++ {
+		n.Step(now)
+	}
+	if n.Injected != 1 || n.Delivered != 1 || n.TotalHops != 2 {
+		t.Errorf("stats: injected=%d delivered=%d hops=%d", n.Injected, n.Delivered, n.TotalHops)
+	}
+}
+
+func TestMessageLen(t *testing.T) {
+	m := &Message{Body: []isa.Word{isa.W(1), isa.W(2)}}
+	// DIP + address + 2 body words = 4; the paper's remote store example is
+	// "a 3 word message" = DIP + address + 1 body word.
+	if m.Len() != 4 {
+		t.Errorf("Len = %d, want 4", m.Len())
+	}
+}

@@ -1,0 +1,565 @@
+// Package rt is the M-Machine's software runtime: the event and message
+// handlers that, together with the hardware mechanisms, implement
+// transparent remote memory access (Section 4.2) and software-controlled
+// caching of remote data in local DRAM (Section 4.3).
+//
+// All handlers are MAP assembly programs running in the event V-Thread,
+// one per cluster exactly as the paper assigns them:
+//
+//	cluster 0: memory synchronization and block status faults
+//	cluster 1: LTLB misses (local page walk, or remote request generation)
+//	cluster 2: arriving priority-0 messages (remote read/write/block fetch)
+//	cluster 3: arriving priority-1 messages (replies)
+//
+// The measured software costs of Table 1 and Figure 9 come from executing
+// these programs on the simulated pipeline.
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Options selects the runtime's remote-data policy.
+type Options struct {
+	// Caching enables caching of remote data in local DRAM using block
+	// status bits (Section 4.3). When false, remote references are
+	// satisfied by non-cached remote access messages (Section 4.2).
+	Caching bool
+}
+
+// Runtime carries the assembled handler programs and their dispatch
+// instruction pointers.
+type Runtime struct {
+	Opts Options
+
+	FaultHandler *isa.Program // event slot, cluster 0
+	LTLBHandler  *isa.Program // event slot, cluster 1
+	MsgHandler   *isa.Program // event slot, cluster 2 (priority 0)
+	ReplyHandler *isa.Program // event slot, cluster 3 (priority 1)
+	ExcHandler   *isa.Program // exception slot, cluster 0
+
+	// Dispatch instruction pointers: instruction indices within MsgHandler
+	// (priority 0) and ReplyHandler (priority 1).
+	DIPRemoteWrite     uint64 // store a word at the destination
+	DIPRemoteWriteSync uint64 // store a word and set its sync bit full
+	DIPRemoteRead      uint64 // read a word, reply with DIPReadReply
+	DIPBlockFetch      uint64 // fetch an 8-word block, reply with DIPBlockReply
+	DIPFetchAdd        uint64 // remote procedure call: atomic fetch-and-add
+	DIPBlockWrite      uint64 // write back an 8-word block at its home
+	DIPReadReply       uint64 // write reply data to the faulting register
+	DIPBlockReply      uint64 // install a fetched block and retry
+}
+
+// New assembles the runtime for the given memory configuration.
+func New(cfg mem.Config, opts Options) (*Runtime, error) {
+	rt := &Runtime{Opts: opts}
+
+	consts := fmt.Sprintf(`
+.equ LPT_BASE %d
+.equ LPT_MASK %d
+.equ SCRATCH %d
+.equ ALLOC_CTR %d
+.equ STATUS_RW 0xAAAAAAAAAAAAAAAA
+`,
+		cfg.LPT.Base, cfg.LPT.Entries-1,
+		machine.ScratchBase(cfg), machine.AllocCounterAddr(cfg))
+
+	// The reply handler has no cross-handler references; assemble it first
+	// so its DIPs are available to the message handler's reply sends.
+	reply, err := asm.Assemble("rt-reply", consts+replyHandlerSrc)
+	if err != nil {
+		return nil, fmt.Errorf("rt: reply handler: %w", err)
+	}
+	rt.ReplyHandler = reply
+	rt.DIPReadReply = uint64(reply.Labels["rreply"])
+	rt.DIPBlockReply = uint64(reply.Labels["breply"])
+
+	replyDips := fmt.Sprintf(".equ DIP_RREPLY %d\n.equ DIP_BREPLY %d\n",
+		rt.DIPReadReply, rt.DIPBlockReply)
+	msg, err := asm.Assemble("rt-msg", consts+replyDips+msgHandlerSrc)
+	if err != nil {
+		return nil, fmt.Errorf("rt: message handler: %w", err)
+	}
+	rt.MsgHandler = msg
+	rt.DIPRemoteWrite = uint64(msg.Labels["rwrite"])
+	rt.DIPRemoteWriteSync = uint64(msg.Labels["rwritesy"])
+	rt.DIPRemoteRead = uint64(msg.Labels["rread"])
+	rt.DIPBlockFetch = uint64(msg.Labels["bfetch"])
+	rt.DIPFetchAdd = uint64(msg.Labels["rpcadd"])
+	rt.DIPBlockWrite = uint64(msg.Labels["bwrite"])
+
+	dips := fmt.Sprintf(`
+.equ DIP_RWRITE %d
+.equ DIP_RREAD %d
+.equ DIP_BFETCH %d
+.equ DIP_RREPLY %d
+.equ DIP_BREPLY %d
+`,
+		rt.DIPRemoteWrite, rt.DIPRemoteRead, rt.DIPBlockFetch,
+		rt.DIPReadReply, rt.DIPBlockReply)
+
+	ltlbSrc := ltlbHandlerSrcNonCached
+	if opts.Caching {
+		ltlbSrc = ltlbHandlerSrcCaching
+	}
+	ltlb, err := asm.Assemble("rt-ltlb", consts+dips+ltlbSrc)
+	if err != nil {
+		return nil, fmt.Errorf("rt: LTLB handler: %w", err)
+	}
+	rt.LTLBHandler = ltlb
+
+	fault, err := asm.Assemble("rt-fault", consts+dips+faultHandlerSrc)
+	if err != nil {
+		return nil, fmt.Errorf("rt: fault handler: %w", err)
+	}
+	rt.FaultHandler = fault
+
+	exc, err := asm.Assemble("rt-exc",
+		fmt.Sprintf(".equ EXLOG %d\n", ExceptionLogAddr(cfg))+excHandlerSrc)
+	if err != nil {
+		return nil, fmt.Errorf("rt: exception handler: %w", err)
+	}
+	rt.ExcHandler = exc
+	return rt, nil
+}
+
+// ExceptionLogAddr returns the physical address of the exception log: one
+// count word followed by 3-word entries (vthread, cluster, pc).
+func ExceptionLogAddr(cfg mem.Config) uint64 {
+	return machine.ScratchBase(cfg) + 128
+}
+
+// ExceptionCount reads a node's exception log count.
+func ExceptionCount(m *machine.Machine, node int) uint64 {
+	w, _ := m.Chip(node).Mem.SDRAM.Read(ExceptionLogAddr(m.Cfg.Chip.Mem))
+	return w
+}
+
+// Install boots the runtime on every node of the machine: the four handler
+// programs are loaded into the event V-Thread (privileged), and the
+// user-safe DIPs are registered with the SEND protection check.
+func Install(m *machine.Machine, opts Options) (*Runtime, error) {
+	rt, err := New(m.Cfg.Chip.Mem, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range m.Chips {
+		c.LoadProgram(isa.EventSlot, 0, rt.FaultHandler, true)
+		c.LoadProgram(isa.EventSlot, 1, rt.LTLBHandler, true)
+		c.LoadProgram(isa.EventSlot, 2, rt.MsgHandler, true)
+		c.LoadProgram(isa.EventSlot, 3, rt.ReplyHandler, true)
+		c.LoadProgram(isa.ExceptionSlot, 0, rt.ExcHandler, true)
+		c.RegisterDIP(rt.DIPRemoteWrite)
+		c.RegisterDIP(rt.DIPRemoteWriteSync)
+		c.RegisterDIP(rt.DIPFetchAdd)
+	}
+	return rt, nil
+}
+
+// FlushBlockSrc returns an assembly fragment that writes the dirty block
+// containing the address in register i1 back to its home node and demotes
+// the local copy to READ-ONLY — the write-back half of a software coherence
+// policy. The fragment clobbers i1, i7-i15 and must run privileged.
+func (r *Runtime) FlushBlockSrc() string {
+	return fmt.Sprintf(`
+    and i1, i1, #-8         ; block base
+    ld i8,  [i1]
+    ld i9,  [i1+1]
+    ld i10, [i1+2]
+    ld i11, [i1+3]
+    ld i12, [i1+4]
+    ld i13, [i1+5]
+    ld i14, [i1+6]
+    ld i15, [i1+7]
+    movi i7, #%d
+    send i1, i7, i8, #8     ; ship the block home
+    movi i7, #1
+    bsw i1, i7              ; local copy becomes READ-ONLY
+`, r.DIPBlockWrite)
+}
+
+// msgHandlerSrc runs on cluster 2 of the event V-Thread and dispatches
+// arriving priority-0 messages: the dispatch loop reads the DIP from the
+// register-mapped queue and jumps to it, exactly the structure of
+// Figure 7(b).
+const msgHandlerSrc = `
+; Priority-0 message dispatch (event V-Thread, cluster 2).
+dispatch:
+    mov i1, net             ; dequeue dispatch instruction pointer
+    jmpr i1                 ; jump to handler (stalls until a message arrives)
+
+; Remote store: message = [DIP, addr, data] (the paper's 3-word example).
+rwrite:
+    mov i2, net             ; destination virtual address
+    mov i3, net             ; data word
+    st [i2], i3             ; may LTLB-miss; completed asynchronously
+    br dispatch
+
+; Remote store + set synchronization bit full (producer side of
+; synchronizing communication).
+rwritesy:
+    mov i2, net
+    mov i3, net
+    stsy.af [i2], i3
+    br dispatch
+
+; Remote read: message = [DIP, addr, regdesc, srcnode]. The load may miss
+; or LTLB-miss at this node (the Remote Cache Miss / Remote LTLB Miss rows
+; of Table 1); the reply SEND stalls on the scoreboard until data arrives.
+rread:
+    mov i2, net             ; referenced address
+    mov i3, net             ; destination register descriptor
+    mov i4, net             ; requesting node
+    ld  i5, [i2]
+    mov i8, i3              ; reply body word 0: regdesc
+    mov i9, i5              ; reply body word 1: data (stalls until loaded)
+    movi i6, #DIP_RREPLY
+    sendn i4, i6, i8, #2
+    br dispatch
+
+; Remote procedure call: atomic fetch-and-add (Section 4.1 lists "remote
+; procedure call" among the handler actions). Message = [DIP, addr, delta,
+; regdesc, srcnode]. Serialized with every other handler action at this
+; node because one H-Thread runs all priority-0 handlers.
+rpcadd:
+    mov i2, net             ; target address
+    mov i3, net             ; delta
+    mov i4, net             ; destination register descriptor
+    mov i5, net             ; requesting node
+    ld  i6, [i2]
+    add i7, i6, i3
+    st  [i2], i7
+    mov i8, i4
+    mov i9, i6              ; reply with the old value
+    movi i10, #DIP_RREPLY
+    sendn i5, i10, i8, #2
+    br dispatch
+
+; Block write-back: the software counterpart of a coherence flush
+; (Section 4.3: handlers "may implement a variety of coherence policies").
+; Message = [DIP, block base, w0..w7]; the home applies all eight words.
+bwrite:
+    mov i2, net
+    mov i8, net
+    mov i9, net
+    mov i10, net
+    mov i11, net
+    mov i12, net
+    mov i13, net
+    mov i14, net
+    mov i15, net
+    st [i2],   i8
+    st [i2+1], i9
+    st [i2+2], i10
+    st [i2+3], i11
+    st [i2+4], i12
+    st [i2+5], i13
+    st [i2+6], i14
+    st [i2+7], i15
+    br dispatch
+
+; Block fetch (caching policy): message = [DIP, addr, rec0..rec3, srcnode].
+; The home node logs the requester in the software directory and returns
+; the 8-word block (Section 4.3).
+bfetch:
+    mov i2, net             ; faulting virtual address
+    mov i3, net             ; rec0
+    mov i4, net             ; rec1
+    mov i5, net             ; rec2
+    mov i6, net             ; rec3
+    mov i15, net            ; requesting node
+    dirlog i2, i15
+    and i1, i2, #-8         ; block base
+    ld i7,  [i1]
+    ld i8,  [i1+1]
+    ld i9,  [i1+2]
+    ld i10, [i1+3]
+    ld i11, [i1+4]
+    ld i12, [i1+5]
+    ld i13, [i1+6]
+    ld i14, [i1+7]
+    movi i0, #DIP_BREPLY
+    sendn i15, i0, i2, #13  ; body = [addr, rec0..rec3, w0..w7]
+    br dispatch
+`
+
+// replyHandlerSrc runs on cluster 3 and handles priority-1 replies.
+const replyHandlerSrc = `
+; Priority-1 message dispatch (event V-Thread, cluster 3).
+rdispatch:
+    mov i1, net
+    jmpr i1
+
+; Read reply: [DIP, node, regdesc, data]. The handler decodes the original
+; load destination and writes the data directly there (Section 4.2 step 7).
+rreply:
+    mov i2, net             ; destination-address word (unused)
+    mov i3, net             ; register descriptor
+    mov i4, net             ; data
+    rstw i3, i4
+    br rdispatch
+
+; Block reply: [DIP, node, addr, rec0..rec3, w0..w7]. Install the block in
+; local DRAM (allocating a shadow page if needed), mark it READ/WRITE, and
+; retry the faulting operation (Section 4.3).
+breply:
+    mov i1, net             ; skip destination-address word
+    mov i1, net             ; faulting virtual address
+    movi i2, #SCRATCH       ; spill the 4-word record to runtime scratch
+    mov i3, net
+    stp [i2], i3
+    mov i3, net
+    stp [i2+1], i3
+    mov i3, net
+    stp [i2+2], i3
+    mov i3, net
+    stp [i2+3], i3
+    mov i8, net             ; the 8 block words
+    mov i9, net
+    mov i10, net
+    mov i11, net
+    mov i12, net
+    mov i13, net
+    mov i14, net
+    mov i15, net
+    shr i3, i1, #9          ; vpn
+    and i4, i3, #LPT_MASK
+    shl i4, i4, #2
+    add i4, i4, #LPT_BASE   ; LPT slot
+    ldp i5, [i4]
+    shl i6, i3, #1
+    or  i6, i6, #1          ; expected tag
+    eq  i7, i5, i6
+    brt i7, bp_have
+    movi i5, #ALLOC_CTR     ; allocate a fresh shadow page
+    ldp i7, [i5]
+    add i2, i7, #1
+    stp [i5], i2
+    stp [i4], i6
+    stp [i4+1], i7
+    movi i2, #0             ; all blocks INVALID until installed
+    stp [i4+2], i2
+    stp [i4+3], i2
+    br bp_store
+bp_have:
+    ldp i7, [i4+1]          ; ppn
+bp_store:
+    shl i7, i7, #9
+    and i2, i1, #511
+    and i2, i2, #-8
+    add i7, i7, i2          ; physical block base
+    stp [i7],   i8
+    stp [i7+1], i9
+    stp [i7+2], i10
+    stp [i7+3], i11
+    stp [i7+4], i12
+    stp [i7+5], i13
+    stp [i7+6], i14
+    stp [i7+7], i15
+    movi i2, #2             ; READ/WRITE
+    bsw i1, i2
+    movi i6, #SCRATCH       ; reload the record and retry the access
+    ldp i2, [i6]
+    ldp i3, [i6+1]
+    ldp i4, [i6+2]
+    ldp i5, [i6+3]
+    mretry i2
+    br rdispatch
+`
+
+// ltlbHandlerSrcNonCached runs on cluster 1: the LTLB miss handler of
+// Section 4.2. It probes the GTLB; local misses are satisfied by an LPT
+// walk (allocating a page on first touch of a home page); remote references
+// become remote read/write messages.
+const ltlbHandlerSrcNonCached = `
+loop:
+    mov i1, evq             ; event record word 0 (type/kind)
+    mov i2, evq             ; faulting virtual address
+    mov i3, evq             ; store data
+    mov i4, evq             ; destination register descriptor
+    gprobe i5, i2           ; home node for the address
+    mov i6, node
+    eq  i7, i5, i6
+    brf i7, remote
+    shr i8, i2, #9          ; local: walk the LPT
+    and i9, i8, #LPT_MASK
+    shl i9, i9, #2
+    add i9, i9, #LPT_BASE
+    ldp i10, [i9]           ; tag word
+    shl i11, i8, #1
+    or  i11, i11, #1
+    eq  i12, i10, i11
+    brf i12, alloc
+    ldp i11, [i9+1]         ; entry resident: install and retry
+    ldp i12, [i9+2]
+    ldp i13, [i9+3]
+    tlbw i10
+    mretry i1
+    br loop
+alloc:
+    movi i5, #ALLOC_CTR     ; first touch of a home page: allocate it
+    ldp i6, [i5]
+    add i7, i6, #1
+    stp [i5], i7
+    shl i10, i8, #1
+    or  i10, i10, #1
+    mov i11, i6
+    movi i12, #STATUS_RW
+    mov i13, i12
+    stp [i9], i10
+    stp [i9+1], i11
+    stp [i9+2], i12
+    stp [i9+3], i13
+    tlbw i10
+    mretry i1
+    br loop
+remote:
+    shr i8, i1, #4
+    and i8, i8, #15         ; faulting operation kind
+    brt i8, rwr
+    mov i8, i4              ; remote read request: [regdesc, srcnode]
+    mov i9, node
+    movi i10, #DIP_RREAD
+    send i2, i10, i8, #2
+    br loop
+rwr:
+    mov i8, i3              ; remote write request: [data]
+    movi i10, #DIP_RWRITE
+    send i2, i10, i8, #1
+    br loop
+`
+
+// ltlbHandlerSrcCaching replaces the remote path: instead of a remote
+// access message, it creates a local shadow page with every block INVALID;
+// the retried access then takes a block status fault and the block is
+// fetched and cached in local DRAM (Section 4.3).
+const ltlbHandlerSrcCaching = `
+loop:
+    mov i1, evq
+    mov i2, evq
+    mov i3, evq
+    mov i4, evq
+    gprobe i5, i2
+    mov i6, node
+    eq  i7, i5, i6
+    brf i7, remote
+    shr i8, i2, #9
+    and i9, i8, #LPT_MASK
+    shl i9, i9, #2
+    add i9, i9, #LPT_BASE
+    ldp i10, [i9]
+    shl i11, i8, #1
+    or  i11, i11, #1
+    eq  i12, i10, i11
+    brf i12, alloc
+    ldp i11, [i9+1]
+    ldp i12, [i9+2]
+    ldp i13, [i9+3]
+    tlbw i10
+    mretry i1
+    br loop
+alloc:
+    movi i5, #ALLOC_CTR
+    ldp i6, [i5]
+    add i7, i6, #1
+    stp [i5], i7
+    shl i10, i8, #1
+    or  i10, i10, #1
+    mov i11, i6
+    movi i12, #STATUS_RW
+    mov i13, i12
+    stp [i9], i10
+    stp [i9+1], i11
+    stp [i9+2], i12
+    stp [i9+3], i13
+    tlbw i10
+    mretry i1
+    br loop
+remote:
+    shr i8, i2, #9          ; create an all-INVALID shadow page
+    and i9, i8, #LPT_MASK
+    shl i9, i9, #2
+    add i9, i9, #LPT_BASE
+    ldp i10, [i9]           ; if the shadow page already exists, reuse it
+    shl i11, i8, #1
+    or  i11, i11, #1
+    eq  i12, i10, i11
+    brt i12, rhave
+    movi i5, #ALLOC_CTR
+    ldp i6, [i5]
+    add i7, i6, #1
+    stp [i5], i7
+    mov i10, i11
+    mov i11, i6
+    movi i12, #0
+    movi i13, #0
+    stp [i9], i10
+    stp [i9+1], i11
+    stp [i9+2], i12
+    stp [i9+3], i13
+    tlbw i10
+    mretry i1
+    br loop
+rhave:
+    ldp i11, [i9+1]
+    ldp i12, [i9+2]
+    ldp i13, [i9+3]
+    tlbw i10
+    mretry i1
+    br loop
+`
+
+// excHandlerSrc runs in the exception V-Thread (Section 3.3: synchronous
+// exceptions such as protection violations "are handled synchronously by
+// the local H-Thread of the exception V-Thread"). It drains the exception
+// queue's 3-word records (vthread, cluster, pc) into a log in physical
+// memory: word 0 is the entry count, followed by 3-word entries.
+const excHandlerSrc = `
+xloop:
+    mov i1, evq             ; faulting vthread
+    mov i2, evq             ; faulting cluster
+    mov i3, evq             ; faulting pc
+    movi i4, #EXLOG
+    ldp i5, [i4]            ; entry count
+    mul i6, i5, #3
+    add i6, i6, i4
+    stp [i6+1], i1
+    stp [i6+2], i2
+    stp [i6+3], i3
+    add i5, i5, #1
+    stp [i4], i5
+    br xloop
+`
+
+// faultHandlerSrc runs on cluster 0 and handles memory synchronization and
+// block status faults (Section 3.3's cluster assignment).
+const faultHandlerSrc = `
+floop:
+    mov i1, evq
+    mov i2, evq
+    mov i3, evq
+    mov i4, evq
+    and i5, i1, #15
+    eq  i6, i5, #3          ; events.SyncFault
+    brt i6, syncf
+    gprobe i5, i2           ; block status fault
+    mov i6, node
+    eq  i7, i5, i6
+    brt i7, floop           ; home-owned block: protection error, drop
+    mov i5, node            ; fetch the block from its home node
+    movi i6, #DIP_BFETCH
+    send i2, i6, i1, #5     ; body = [rec0..rec3, srcnode]
+    br floop
+syncf:
+    movi i8, #12            ; back off before retrying so producers can run
+sfdelay:
+    sub i8, i8, #1
+    brt i8, sfdelay
+    mretry i1               ; synchronizing fault: retry until satisfied
+    br floop
+`

@@ -1,0 +1,92 @@
+// Package trace records simulation events with cycle timestamps so the
+// remote access timelines of Figure 9 can be reconstructed and printed.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one timestamped simulator occurrence.
+type Event struct {
+	Cycle  int64
+	Node   int
+	Name   string
+	Detail string
+}
+
+// Recorder accumulates events; install Hook on a machine.
+type Recorder struct {
+	Events []Event
+}
+
+// Hook returns the callback to install with machine.SetTrace.
+func (r *Recorder) Hook() func(cycle int64, node int, event, detail string) {
+	return func(cycle int64, node int, event, detail string) {
+		r.Events = append(r.Events, Event{cycle, node, event, detail})
+	}
+}
+
+// Reset clears recorded events.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// Filter returns events whose name is in names (all if empty), at or after
+// cycle from.
+func (r *Recorder) Filter(from int64, names ...string) []Event {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Event
+	for _, e := range r.Events {
+		if e.Cycle >= from && (len(want) == 0 || want[e.Name]) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the first event with the given name at or after cycle from,
+// and whether one exists.
+func (r *Recorder) First(from int64, name string) (Event, bool) {
+	for _, e := range r.Events {
+		if e.Cycle >= from && e.Name == name {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FirstMatch returns the first event at or after from for which pred holds.
+func (r *Recorder) FirstMatch(from int64, pred func(Event) bool) (Event, bool) {
+	for _, e := range r.Events {
+		if e.Cycle >= from && pred(e) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Timeline renders events as a two-column per-node timeline normalized to
+// cycle zero at the first event, in the style of Figure 9.
+func Timeline(events []Event, nodes ...int) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	base := events[0].Cycle
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %s\n", "cycle", "event")
+	for _, e := range events {
+		keep := len(nodes) == 0
+		for _, n := range nodes {
+			if e.Node == n {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		fmt.Fprintf(&b, "%8d  NODE %d: %-14s %s\n", e.Cycle-base, e.Node, e.Name, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func recorderWith(events ...Event) *Recorder {
+	r := &Recorder{}
+	hook := r.Hook()
+	for _, e := range events {
+		hook(e.Cycle, e.Node, e.Name, e.Detail)
+	}
+	return r
+}
+
+func TestHookRecords(t *testing.T) {
+	r := recorderWith(
+		Event{1, 0, "send", "a"},
+		Event{2, 1, "msg-recv", "b"},
+	)
+	if len(r.Events) != 2 || r.Events[0].Name != "send" || r.Events[1].Node != 1 {
+		t.Errorf("events = %+v", r.Events)
+	}
+	r.Reset()
+	if len(r.Events) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := recorderWith(
+		Event{1, 0, "send", ""},
+		Event{2, 0, "event", ""},
+		Event{3, 1, "send", ""},
+		Event{4, 1, "rstw", ""},
+	)
+	got := r.Filter(0, "send")
+	if len(got) != 2 || got[0].Cycle != 1 || got[1].Cycle != 3 {
+		t.Errorf("Filter(send) = %+v", got)
+	}
+	got = r.Filter(3)
+	if len(got) != 2 {
+		t.Errorf("Filter(from=3) = %+v", got)
+	}
+	got = r.Filter(0, "send", "rstw")
+	if len(got) != 3 {
+		t.Errorf("Filter(send,rstw) = %+v", got)
+	}
+}
+
+func TestFirstAndFirstMatch(t *testing.T) {
+	r := recorderWith(
+		Event{5, 0, "send", "x"},
+		Event{9, 1, "send", "y"},
+	)
+	e, ok := r.First(0, "send")
+	if !ok || e.Cycle != 5 {
+		t.Errorf("First = %+v, %v", e, ok)
+	}
+	e, ok = r.First(6, "send")
+	if !ok || e.Cycle != 9 {
+		t.Errorf("First(from 6) = %+v, %v", e, ok)
+	}
+	if _, ok := r.First(10, "send"); ok {
+		t.Error("First past all events should fail")
+	}
+	e, ok = r.FirstMatch(0, func(e Event) bool { return e.Node == 1 })
+	if !ok || e.Detail != "y" {
+		t.Errorf("FirstMatch = %+v, %v", e, ok)
+	}
+	if _, ok := r.FirstMatch(0, func(Event) bool { return false }); ok {
+		t.Error("FirstMatch with false pred should fail")
+	}
+}
+
+func TestTimelineNormalizesAndFiltersNodes(t *testing.T) {
+	events := []Event{
+		{100, 0, "send", "a"},
+		{105, 1, "msg-recv", "b"},
+		{110, 2, "other", "c"},
+	}
+	out := Timeline(events, 0, 1)
+	if !strings.Contains(out, "NODE 0: send") || !strings.Contains(out, "NODE 1: msg-recv") {
+		t.Errorf("timeline missing events:\n%s", out)
+	}
+	if strings.Contains(out, "NODE 2") {
+		t.Errorf("timeline should exclude node 2:\n%s", out)
+	}
+	// Normalized to the first event's cycle.
+	if !strings.Contains(out, "       0  NODE 0") {
+		t.Errorf("timeline not normalized:\n%s", out)
+	}
+	if Timeline(nil) != "(no events)\n" {
+		t.Error("empty timeline wrong")
+	}
+	// No node filter: include everything.
+	all := Timeline(events)
+	if !strings.Contains(all, "NODE 2") {
+		t.Error("unfiltered timeline should include node 2")
+	}
+}

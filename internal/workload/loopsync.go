@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// LoopSync generates the Figure 6 kernel: H-Threads iterating a loop in
+// lock step, synchronizing at each iteration boundary through a pair of
+// global condition-code registers. The interlock uses two registers per
+// follower so that neither H-Thread can roll over into the next iteration
+// before both have completed the current one, exactly the paper's protocol:
+// H-Thread 0 computes the loop condition and broadcasts it via gcc1;
+// H-Thread 1 consumes gcc1, empties it, and acknowledges via gcc3, which
+// H-Thread 0 consumes and empties before its next iteration.
+//
+// hthreads may be 2 or 4; with 4, H-Thread 0 broadcasts on gcc1 and the
+// three followers acknowledge on gcc3, gcc5, gcc7 — the "fast barrier among
+// 4 H-Threads ... without combining or distribution trees" the paper
+// describes. iters is the iteration count.
+func LoopSync(hthreads, iters int) ([]*isa.Program, error) {
+	if hthreads != 2 && hthreads != 4 {
+		return nil, fmt.Errorf("workload: loop sync supports 2 or 4 H-Threads, not %d", hthreads)
+	}
+	progs := make([]*isa.Program, hthreads)
+
+	// Leader (cluster 0): compute, broadcast condition, await all acks.
+	lead := fmt.Sprintf(`
+    movi i1, #0
+    movi i2, #%d
+loop:
+    add i1, i1, #1          ; compute bar
+    eq  gcc1, i1, i2        ; broadcast bar==end
+`, iters)
+	for f := 1; f < hthreads; f++ {
+		ack := 2*f + 1 // gcc3, gcc5, gcc7
+		lead += fmt.Sprintf("    mov i4, gcc%d\n    empty gcc%d\n", ack, ack)
+	}
+	lead += `
+    lt  i5, i1, i2
+    brt i5, loop
+    halt
+`
+	p, err := asm.Assemble("loopsync-h0", lead)
+	if err != nil {
+		return nil, err
+	}
+	progs[0] = p
+
+	// Followers: work, consume the condition, empty it, acknowledge.
+	for f := 1; f < hthreads; f++ {
+		ack := 2*f + 1
+		src := fmt.Sprintf(`
+    movi i1, #0
+loop:
+    add i1, i1, #1          ; use
+    mov i3, gcc1            ; wait for the leader's condition broadcast
+    empty gcc1
+    eq  gcc%d, i1, i1       ; acknowledge (always 1)
+    brf i3, loop            ; loop until the condition said "end"
+    halt
+`, ack)
+		p, err := asm.Assemble(fmt.Sprintf("loopsync-h%d", f), src)
+		if err != nil {
+			return nil, err
+		}
+		progs[f] = p
+	}
+	return progs, nil
+}
+
+// SpinLoop generates an unsynchronized counting loop of the same body size,
+// the baseline against which the Figure 6 interlock overhead is measured.
+func SpinLoop(iters int) *isa.Program {
+	return asm.MustAssemble("spinloop", fmt.Sprintf(`
+    movi i1, #0
+    movi i2, #%d
+loop:
+    add i1, i1, #1
+    lt  i5, i1, i2
+    brt i5, loop
+    halt
+`, iters))
+}
+
+// LoadHeavyKernel generates a pointer-chase style kernel with one load per
+// iteration and a dependent use, for the V-Thread latency-tolerance
+// ablation (Section 3.2): each load's full latency is exposed to a single
+// thread, so co-resident V-Threads can fill the stall cycles.
+func LoadHeavyKernel(base uint64, iters int) *isa.Program {
+	return asm.MustAssemble("loadheavy", fmt.Sprintf(`
+    movi i1, #%d
+    movi i2, #0
+    movi i3, #%d
+loop:
+    ld  i4, [i1]
+    add i5, i4, i5          ; dependent use: exposes the load latency
+    add i2, i2, #1
+    lt  i6, i2, i3
+    brt i6, loop
+    halt
+`, base, iters))
+}
+
+// PointerKernel generates the guarded-pointer ablation kernel: a loop of
+// LEA pointer bumps and loads through the resulting capability. The same
+// kernel body with raw add/ld (privileged) measures the no-check baseline.
+func PointerKernel(iters int, guarded bool) *isa.Program {
+	bump := "lea i1, i1, #1"
+	if !guarded {
+		bump = "add i1, i1, #1"
+	}
+	return asm.MustAssemble("ptrkernel", fmt.Sprintf(`
+    movi i2, #0
+    movi i3, #%d
+loop:
+    %s
+    ld i4, [i1]
+    add i2, i2, #1
+    lt i5, i2, i3
+    brt i5, loop
+    halt
+`, iters, bump))
+}
