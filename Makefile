@@ -1,0 +1,25 @@
+# Build/verify entry points. `make ci` is the tier-1 gate plus a one-shot
+# benchmark smoke pass (every benchmark runs once, so a panicking or
+# regressed-to-failure benchmark breaks CI without paying for measurement).
+
+GO ?= go
+
+.PHONY: ci build vet test bench-smoke bench
+
+ci: build vet test bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full measurement run (slow): allocation stats included.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

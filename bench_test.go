@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/core"
+	"repro/internal/noc"
 )
 
 // BenchmarkTable1 regenerates every row of Table 1 (E1), reporting each
@@ -219,6 +220,91 @@ loop:
 		s.M.Step()
 	}
 	b.ReportMetric(float64(b.N), "sim_cycles")
+}
+
+// BenchmarkEngineThroughput measures the cycle engine itself: simulated
+// cycles per second via Machine.Step across a node-count sweep (single
+// node, x-axis rows, and the 4x4x2 mesh), under two loads. "busy" runs a
+// spin loop on every node (the engine's worst case: every chip issues
+// every cycle); "sparse" runs it on node 0 only, so the sweep exposes what
+// idle nodes cost — the number future scaling PRs need to track.
+func BenchmarkEngineThroughput(b *testing.B) {
+	sizes := []struct {
+		name string
+		dims noc.Coord
+	}{
+		{"Nodes1", noc.Coord{X: 1, Y: 1, Z: 1}},
+		{"Nodes4", noc.Coord{X: 4, Y: 1, Z: 1}},
+		{"Nodes16", noc.Coord{X: 16, Y: 1, Z: 1}},
+		{"Mesh4x4x2", noc.Coord{X: 4, Y: 4, Z: 2}},
+	}
+	spin := `
+    movi i1, #0
+loop:
+    add i1, i1, #1
+    br loop
+`
+	for _, load := range []string{"busy", "sparse"} {
+		for _, sz := range sizes {
+			b.Run(load+"/"+sz.name, func(b *testing.B) {
+				s, err := core.NewSim(core.Options{Dims: sz.dims})
+				if err != nil {
+					b.Fatal(err)
+				}
+				active := s.M.NumNodes()
+				if load == "sparse" {
+					active = 1
+				}
+				for n := 0; n < active; n++ {
+					if err := s.LoadASM(n, 0, 0, spin); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.M.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+				b.ReportMetric(float64(b.N)*float64(s.M.NumNodes())/b.Elapsed().Seconds(),
+					"node-cycles/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineFastForward measures the idle fast-forward path: a
+// complete Run of a remote-access workload on an 8-node machine, where
+// almost every cycle is a wait on memory, handler, or network latency and
+// the event engine jumps the clock instead of stepping through it.
+func BenchmarkEngineFastForward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewSim(core.Options{Nodes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := s.HomeBase(7) + 16
+		if err := s.LoadASM(0, 0, 0, itoaProg(addr)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(200000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// itoaProg builds a far-remote pointer-chase: store then dependent loads.
+func itoaProg(addr uint64) string {
+	return `
+    movi i1, #` + itoa(int(addr)) + `
+    movi i2, #99
+    st [i1], i2
+    ld i3, [i1]
+    add i4, i3, #1
+    st [i1+1], i4
+    ld i5, [i1+1]
+    halt
+`
 }
 
 func itoa(v int) string {

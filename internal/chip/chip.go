@@ -21,6 +21,12 @@ import (
 	"repro/internal/noc"
 )
 
+// NoEvent is the NextEvent sentinel meaning "this component will never act
+// again without external input" (see DESIGN.md, "The NextEvent contract").
+// The leaf packages (mem, noc, events) each define the value to avoid an
+// artificial dependency; everything above them aliases one definition.
+const NoEvent = mem.NoEvent
+
 // Config gathers the chip's timing and capacity parameters.
 type Config struct {
 	Mem mem.Config
@@ -77,14 +83,12 @@ type pendingReg struct {
 	cl      int
 	reg     isa.Reg
 	w       isa.Word
-	seq     uint64
 }
 
 type pendingGCC struct {
 	at  int64
 	idx int
 	w   isa.Word
-	seq uint64
 }
 
 // reqMeta routes a memory response back to its destination.
@@ -95,6 +99,21 @@ type reqMeta struct {
 	isRetry bool    // re-injected by MRETRY: route via regDesc instead
 	regDesc uint64
 	data    isa.Word // original store data, kept for event records
+}
+
+// memReq pairs an outstanding memory request token with its routing
+// metadata. A short flat slice replaces the former map: the handful of
+// in-flight requests make linear search cheaper than hashing, and the
+// backing array is reused so the hot path never allocates.
+type memReq struct {
+	token uint64
+	meta  reqMeta
+}
+
+// resend is a returned message buffered for re-injection after backoff.
+type resend struct {
+	msg *noc.Message
+	at  int64
 }
 
 // Chip is one M-Machine node's processor.
@@ -115,17 +134,21 @@ type Chip struct {
 	msgq [noc.NumPriorities]*events.Queue
 	excq *events.Queue
 
+	// Scheduled writebacks, kept in insertion order and compacted in place;
+	// pendRegNext/pendGCCNext cache the earliest due cycle so idle cycles
+	// skip the scan entirely.
 	pendingRegs []pendingReg
 	pendingGCC  []pendingGCC
-	pendSeq     uint64
+	pendRegNext int64
+	pendGCCNext int64
 
-	memMeta map[uint64]*reqMeta
+	memReqs []memReq
 	memSeq  uint64
 
 	// SEND datapath state (Section 4.1, "Throttling").
-	credits   int
-	resendBuf []*noc.Message
-	resendAt  []int64
+	credits    int
+	resends    []resend
+	resendNext int64
 
 	// validDIPs restricts the dispatch instruction pointers user threads
 	// may name in SEND ("restricting the set of user accessible DIPs
@@ -145,6 +168,20 @@ type Chip struct {
 
 	Cycle int64
 
+	// Event-engine state (see DESIGN.md, "The NextEvent contract"). wake is
+	// the earliest cycle this chip can change state, computed at the end of
+	// each Step; idleStalled and idleSendsBlocked record the per-cycle stat
+	// side effects of an idle issue scan so SkipCycles can replay them
+	// without stepping, keeping skipped runs bit-identical to the naive
+	// per-cycle loop.
+	wake             int64
+	idleStalled      []*cluster.HThread
+	idleSendsBlocked uint64
+
+	// msgScratch assembles arriving message words before they are copied
+	// into a hardware queue (reused across messages).
+	msgScratch []isa.Word
+
 	// Stats.
 	InstsIssued  uint64
 	OpsIssued    uint64
@@ -157,17 +194,19 @@ type Chip struct {
 // across the machine's nodes.
 func New(cfg Config, node noc.Coord, index int, net *noc.Network, gdt *gtlb.Table) *Chip {
 	c := &Chip{
-		Cfg:       cfg,
-		Node:      node,
-		Index:     index,
-		Mem:       mem.NewSystem(cfg.Mem),
-		Net:       net,
-		GTLB:      gtlb.New(gdt, 16),
-		excq:      events.NewQueue(cfg.EventQueueCap),
-		memMeta:   make(map[uint64]*reqMeta),
-		credits:   cfg.SendCredits,
-		validDIPs: make(map[uint64]bool),
-		directory: make(map[uint64][]int),
+		Cfg:         cfg,
+		Node:        node,
+		Index:       index,
+		Mem:         mem.NewSystem(cfg.Mem),
+		Net:         net,
+		GTLB:        gtlb.New(gdt, 16),
+		excq:        events.NewQueue(cfg.EventQueueCap),
+		credits:     cfg.SendCredits,
+		validDIPs:   make(map[uint64]bool),
+		directory:   make(map[uint64][]int),
+		pendRegNext: NoEvent,
+		pendGCCNext: NoEvent,
+		resendNext:  NoEvent,
 	}
 	for i := range c.Clusters {
 		c.Clusters[i] = cluster.New(i)
@@ -184,10 +223,17 @@ func New(cfg Config, node noc.Coord, index int, net *noc.Network, gdt *gtlb.Tabl
 	return c
 }
 
-// LoadProgram installs a program on an H-Thread slot.
+// LoadProgram installs a program on an H-Thread slot. Loading wakes the
+// chip: a sleeping event engine must rescan for issuable instructions.
 func (c *Chip) LoadProgram(vthread, cl int, p *isa.Program, privileged bool) {
 	c.Clusters[cl].Threads[vthread].Load(p, privileged)
+	c.wake = 0
 }
+
+// Touch resets the chip's event-engine wake cycle. Callers that mutate
+// architectural state from outside the simulation (register pokes, queue
+// pushes in tests) must Touch the chip so a sleeping engine rescans it.
+func (c *Chip) Touch() { c.wake = 0 }
 
 // RegisterDIP marks a dispatch instruction pointer as legal for user SENDs.
 func (c *Chip) RegisterDIP(dip uint64) { c.validDIPs[dip] = true }
@@ -238,65 +284,156 @@ func (c *Chip) Step(now int64) {
 	// 4. Resend returned messages whose backoff expired.
 	c.resendReturned(now)
 
-	// 5. Issue: one instruction per cluster per cycle.
+	// 5. Issue: one instruction per cluster per cycle. The scan records
+	// which resident threads stalled and how many SEND evaluations were
+	// throttle-blocked, so an idle chip's per-cycle stat side effects can
+	// be replayed by SkipCycles without re-scanning.
+	c.idleStalled = c.idleStalled[:0]
+	sendsBlockedBase := c.SendsBlocked
+	issued := false
 	for cl := range c.Clusters {
-		c.issueCluster(now, cl)
+		if c.issueCluster(now, cl) {
+			issued = true
+		}
 	}
 
 	c.Cycle++
+	if issued {
+		// Something issued: the same thread may issue again next cycle.
+		c.wake = now + 1
+		return
+	}
+	c.idleSendsBlocked = c.SendsBlocked - sendsBlockedBase
+	// Nothing issued and every resident thread was scanned and found not
+	// ready; only a timed event below (or an arrival, handled by the
+	// machine) can change that.
+	w := c.Mem.NextEvent(now + 1)
+	if c.pendRegNext < w {
+		w = c.pendRegNext
+	}
+	if c.pendGCCNext < w {
+		w = c.pendGCCNext
+	}
+	if c.resendNext < w {
+		w = c.resendNext
+	}
+	c.wake = w
 }
 
-// applyPending delivers scheduled register writes and GCC broadcasts.
-func (c *Chip) applyPending(now int64) {
-	var restR []pendingReg
-	for _, p := range c.pendingRegs {
-		if p.at > now {
-			restR = append(restR, p)
-			continue
-		}
-		th := c.Clusters[p.cl].Threads[p.vthread]
-		switch p.reg.Class {
-		case isa.RInt, isa.RFP:
-			th.File(p.reg.Class).Set(int(p.reg.Index), p.w)
-		case isa.RGCC:
-			c.Clusters[p.cl].GCC.Set(int(p.reg.Index), p.w)
-		}
+// NextEvent reports the earliest cycle >= now at which the chip's state can
+// change without external input: now if the chip is due to step, the cached
+// wake cycle otherwise, NoEvent if the chip is fully idle.
+func (c *Chip) NextEvent(now int64) int64 {
+	if c.wake < now {
+		return now
 	}
-	c.pendingRegs = restR
+	return c.wake
+}
 
-	var restG []pendingGCC
-	for _, g := range c.pendingGCC {
-		if g.at > now {
-			restG = append(restG, g)
-			continue
-		}
-		for cl := range c.Clusters {
-			c.Clusters[cl].GCC.Set(g.idx, g.w)
-		}
+// WakeAt lowers the chip's wake cycle (the machine calls this when the
+// network delivers a message addressed to this node).
+func (c *Chip) WakeAt(at int64) {
+	if at < c.wake {
+		c.wake = at
 	}
-	c.pendingGCC = restG
+}
+
+// SkipCycles fast-forwards the chip over d externally-quiet cycles without
+// stepping, replaying the per-cycle stat side effects the naive loop would
+// have accrued (thread stall counts and throttle-blocked SEND evaluations,
+// recorded by the last idle issue scan). The caller must guarantee the
+// window is quiet: no instruction issued in the last Step and no event of
+// this chip (or arrival for it) falls inside the window.
+func (c *Chip) SkipCycles(d int64) {
+	for _, th := range c.idleStalled {
+		th.StallCycles += uint64(d)
+	}
+	c.SendsBlocked += uint64(d) * c.idleSendsBlocked
+	c.Cycle += d
+}
+
+// applyPending delivers scheduled register writes and GCC broadcasts,
+// compacting the pending lists in place (insertion order is preserved, and
+// the steady state allocates nothing).
+func (c *Chip) applyPending(now int64) {
+	if now >= c.pendRegNext {
+		rest := c.pendingRegs[:0]
+		next := NoEvent
+		for _, p := range c.pendingRegs {
+			if p.at > now {
+				rest = append(rest, p)
+				if p.at < next {
+					next = p.at
+				}
+				continue
+			}
+			th := c.Clusters[p.cl].Threads[p.vthread]
+			switch p.reg.Class {
+			case isa.RInt, isa.RFP:
+				th.File(p.reg.Class).Set(int(p.reg.Index), p.w)
+			case isa.RGCC:
+				c.Clusters[p.cl].GCC.Set(int(p.reg.Index), p.w)
+			}
+		}
+		c.pendingRegs = rest
+		c.pendRegNext = next
+	}
+
+	if now >= c.pendGCCNext {
+		rest := c.pendingGCC[:0]
+		next := NoEvent
+		for _, g := range c.pendingGCC {
+			if g.at > now {
+				rest = append(rest, g)
+				if g.at < next {
+					next = g.at
+				}
+				continue
+			}
+			for cl := range c.Clusters {
+				c.Clusters[cl].GCC.Set(g.idx, g.w)
+			}
+		}
+		c.pendingGCC = rest
+		c.pendGCCNext = next
+	}
 }
 
 // schedule queues a register writeback.
 func (c *Chip) schedule(at int64, vthread, cl int, reg isa.Reg, w isa.Word) {
-	c.pendSeq++
-	c.pendingRegs = append(c.pendingRegs, pendingReg{at, vthread, cl, reg, w, c.pendSeq})
+	c.pendingRegs = append(c.pendingRegs, pendingReg{at, vthread, cl, reg, w})
+	if at < c.pendRegNext {
+		c.pendRegNext = at
+	}
 }
 
 // scheduleGCC queues a global CC broadcast to every cluster's replica.
 func (c *Chip) scheduleGCC(at int64, idx int, w isa.Word) {
-	c.pendSeq++
-	c.pendingGCC = append(c.pendingGCC, pendingGCC{at, idx, w, c.pendSeq})
+	c.pendingGCC = append(c.pendingGCC, pendingGCC{at, idx, w})
+	if at < c.pendGCCNext {
+		c.pendGCCNext = at
+	}
+}
+
+// takeMeta removes and returns the routing metadata for a request token.
+func (c *Chip) takeMeta(token uint64) (reqMeta, bool) {
+	for i := range c.memReqs {
+		if c.memReqs[i].token == token {
+			meta := c.memReqs[i].meta
+			c.memReqs = append(c.memReqs[:i], c.memReqs[i+1:]...)
+			return meta, true
+		}
+	}
+	return reqMeta{}, false
 }
 
 // memResponse routes a completed memory request: load writebacks, store
 // completions, or fault events.
 func (c *Chip) memResponse(resp mem.Response) {
-	meta := c.memMeta[resp.Req.Token]
-	if meta == nil {
+	meta, ok := c.takeMeta(resp.Req.Token)
+	if !ok {
 		panic(fmt.Sprintf("chip %d: orphan memory response %+v", c.Index, resp))
 	}
-	delete(c.memMeta, resp.Req.Token)
 
 	if resp.Fault != mem.FaultNone {
 		c.memFault(resp, meta)
@@ -318,7 +455,7 @@ func (c *Chip) memResponse(resp mem.Response) {
 
 // memFault converts a faulting memory response into an asynchronous event
 // record on the appropriate cluster's queue (Section 3.3).
-func (c *Chip) memFault(resp mem.Response, meta *reqMeta) {
+func (c *Chip) memFault(resp mem.Response, meta reqMeta) {
 	rec := events.Record{
 		Kind:  resp.Req.Kind,
 		Pre:   resp.Req.Pre,
@@ -350,10 +487,10 @@ func (c *Chip) memFault(resp mem.Response, meta *reqMeta) {
 }
 
 // submitMem registers metadata and hands a request to the memory system.
-func (c *Chip) submitMem(now int64, req mem.Request, meta *reqMeta) {
+func (c *Chip) submitMem(now int64, req mem.Request, meta reqMeta) {
 	c.memSeq++
 	req.Token = c.memSeq
-	c.memMeta[req.Token] = meta
+	c.memReqs = append(c.memReqs, memReq{token: req.Token, meta: meta})
 	c.Mem.Submit(now, req)
 }
 
@@ -362,7 +499,7 @@ func (c *Chip) submitMem(now int64, req mem.Request, meta *reqMeta) {
 // queued events or messages, or buffered resends.
 func (c *Chip) Quiescent() bool {
 	if c.Mem.Pending() > 0 || len(c.pendingRegs) > 0 || len(c.pendingGCC) > 0 ||
-		len(c.resendBuf) > 0 || !c.excq.Empty() {
+		len(c.resends) > 0 || !c.excq.Empty() {
 		return false
 	}
 	for _, q := range c.evq {

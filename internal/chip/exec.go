@@ -177,7 +177,7 @@ func (c *Chip) execute(now int64, vt, cl int, th *cluster.HThread, op *isa.Op) (
 	case isa.MRETRY:
 		rec := c.readRecord(th, int(op.Src1.Index))
 		r := events.Decode(rec.w)
-		c.submitMem(now, r.Request(), &reqMeta{
+		c.submitMem(now, r.Request(), reqMeta{
 			isRetry: true,
 			regDesc: r.RegDesc,
 			data:    r.Data,
@@ -327,7 +327,7 @@ func (c *Chip) executeMem(now int64, vt, cl int, th *cluster.HThread, op *isa.Op
 		kind = mem.ReqWritePhys
 	}
 	req := mem.Request{Kind: kind, Addr: addr, Pre: op.Pre, Post: op.Post}
-	meta := &reqMeta{vthread: vt, cl: cl}
+	meta := reqMeta{vthread: vt, cl: cl}
 	if vt < isa.NumUserSlots {
 		c.trace("mem-issue", fmt.Sprintf("%s addr=%#x", kind, addr))
 	}

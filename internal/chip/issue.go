@@ -14,12 +14,14 @@ import (
 	"repro/internal/isa"
 )
 
-// issueCluster selects and issues at most one instruction on cluster cl.
-// Ready V-Threads are served round-robin across all six slots, so event
-// handlers and user threads share the cluster fairly ("Multiple V-Threads
-// may be interleaved with zero delay", Section 3.2; the paper specifies no
-// fixed priority among ready threads).
-func (c *Chip) issueCluster(now int64, cl int) {
+// issueCluster selects and issues at most one instruction on cluster cl,
+// reporting whether one issued. Ready V-Threads are served round-robin
+// across all six slots, so event handlers and user threads share the
+// cluster fairly ("Multiple V-Threads may be interleaved with zero delay",
+// Section 3.2; the paper specifies no fixed priority among ready threads).
+// Threads that stall are recorded in idleStalled so SkipCycles can replay
+// the scan's stat effects over fast-forwarded idle cycles.
+func (c *Chip) issueCluster(now int64, cl int) bool {
 	cc := c.Clusters[cl]
 	start := cc.LastIssued + 1
 	for i := 0; i < isa.NumVThreads; i++ {
@@ -31,12 +33,14 @@ func (c *Chip) issueCluster(now int64, cl int) {
 		}
 		if !c.ready(now, vt, cl, th, in) {
 			th.StallCycles++
+			c.idleStalled = append(c.idleStalled, th)
 			continue
 		}
 		c.issue(now, vt, cl, th, in)
 		cc.LastIssued = vt
-		return
+		return true
 	}
+	return false
 }
 
 // ready implements the scoreboard and resource checks for a whole

@@ -106,16 +106,18 @@ func (c *Chip) receiveMsg(now int64, m *noc.Message) {
 			// original message which are copied into the buffer and resent
 			// at a later time").
 			c.MsgsReturned++
-			c.resendBuf = append(c.resendBuf, m.Orig)
-			c.resendAt = append(c.resendAt, now+c.Cfg.ResendDelay)
+			at := now + c.Cfg.ResendDelay
+			c.resends = append(c.resends, resend{msg: m.Orig, at: at})
+			if at < c.resendNext {
+				c.resendNext = at
+			}
 		}
 		return
 	}
 
-	words := make([]isa.Word, 0, 2+len(m.Body))
-	words = append(words, isa.W(m.DIP), isa.W(m.DstAddr))
-	words = append(words, m.Body...)
-	accepted := c.msgq[m.Pri].PushWords(words)
+	c.msgScratch = append(c.msgScratch[:0], isa.W(m.DIP), isa.W(m.DstAddr))
+	c.msgScratch = append(c.msgScratch, m.Body...)
+	accepted := c.msgq[m.Pri].PushWords(c.msgScratch)
 	if m.Pri == 0 {
 		ack := &noc.Message{
 			Pri:   1,
@@ -140,14 +142,20 @@ func (c *Chip) receiveMsg(now int64, m *noc.Message) {
 // resendReturned re-injects returned messages whose backoff has expired.
 // The messages still hold their buffer reservation, so no credit check.
 func (c *Chip) resendReturned(now int64) {
-	var keptBuf []*noc.Message
-	var keptAt []int64
-	for i, m := range c.resendBuf {
-		if c.resendAt[i] > now {
-			keptBuf = append(keptBuf, m)
-			keptAt = append(keptAt, c.resendAt[i])
+	if now < c.resendNext {
+		return
+	}
+	kept := c.resends[:0]
+	next := NoEvent
+	for _, r := range c.resends {
+		if r.at > now {
+			kept = append(kept, r)
+			if r.at < next {
+				next = r.at
+			}
 			continue
 		}
+		m := r.msg
 		fresh := &noc.Message{
 			Pri:     m.Pri,
 			Src:     c.Node,
@@ -159,6 +167,9 @@ func (c *Chip) resendReturned(now int64) {
 		c.Net.Inject(now, fresh)
 		c.trace("resend", fmt.Sprintf("dip=%d to %v", m.DIP, m.Dst))
 	}
-	c.resendBuf = keptBuf
-	c.resendAt = keptAt
+	for i := len(kept); i < len(c.resends); i++ {
+		c.resends[i] = resend{}
+	}
+	c.resends = kept
+	c.resendNext = next
 }

@@ -43,7 +43,22 @@ type Options struct {
 	// virtual words [i*1024*HomePages, (i+1)*1024*HomePages). Default 4
 	// (4096 words per node). Set -1 to skip automatic mapping.
 	HomePages int
+	// NaiveEngine selects the reference per-cycle loop (Machine.StepAll,
+	// no idle fast-forward) instead of the event-driven engine. The two
+	// are bit-identical (see TestDeterminismEngines); the naive loop is
+	// the debug baseline the engine is validated against.
+	NaiveEngine bool
 }
+
+// defaultNaiveEngine makes every subsequently built Sim use the naive
+// engine, including the ones experiment harnesses construct internally.
+// It exists so the determinism regression test can run each experiment
+// under both engines; production code should leave it alone.
+var defaultNaiveEngine bool
+
+// SetDefaultEngine selects the engine for sims that don't request one
+// explicitly: naive=true forces the reference per-cycle loop.
+func SetDefaultEngine(naive bool) { defaultNaiveEngine = naive }
 
 // Sim is a booted M-Machine with its runtime installed.
 type Sim struct {
@@ -69,6 +84,7 @@ func NewSim(o Options) (*Sim, error) {
 		cfg.Dims = noc.Coord{X: o.Nodes, Y: 1, Z: 1}
 	}
 	m := machine.New(cfg)
+	m.Naive = o.NaiveEngine || defaultNaiveEngine
 	r, err := rt.Install(m, rt.Options{Caching: o.Caching})
 	if err != nil {
 		return nil, err

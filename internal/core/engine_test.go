@@ -1,0 +1,201 @@
+package core
+
+// Determinism regression for the event-driven cycle engine: every
+// experiment must produce bit-identical results — cycle counts, register
+// state, statistics, and trace event streams — whether the machine runs
+// the naive per-cycle loop (Machine.StepAll) or the fast-forwarding
+// event engine. See DESIGN.md, "The NextEvent contract".
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// underEngine runs f with the package-default engine forced to naive or
+// event-driven, restoring the default afterwards.
+func underEngine(naive bool, f func() (string, error)) (string, error) {
+	SetDefaultEngine(naive)
+	defer SetDefaultEngine(false)
+	return f()
+}
+
+// bothEngines runs f under each engine and fails the test on any
+// difference between the two fingerprints.
+func bothEngines(t *testing.T, name string, f func() (string, error)) {
+	t.Helper()
+	naive, err := underEngine(true, f)
+	if err != nil {
+		t.Fatalf("%s (naive engine): %v", name, err)
+	}
+	event, err := underEngine(false, f)
+	if err != nil {
+		t.Fatalf("%s (event engine): %v", name, err)
+	}
+	if naive != event {
+		t.Errorf("%s diverged between engines:\n--- naive ---\n%s\n--- event ---\n%s",
+			name, naive, event)
+	}
+}
+
+// TestDeterminismEngines re-runs each core experiment under both engines.
+func TestDeterminismEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	t.Run("Table1", func(t *testing.T) {
+		bothEngines(t, "table1", func() (string, error) {
+			rows, err := Table1()
+			return fmt.Sprintf("%+v", rows), err
+		})
+	})
+	t.Run("Figure9", func(t *testing.T) {
+		bothEngines(t, "figure9", func() (string, error) {
+			r, w, err := Figure9()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v %+v", *r, *w), nil
+		})
+	})
+	t.Run("GridSmooth", func(t *testing.T) {
+		bothEngines(t, "gridsmooth", func() (string, error) {
+			rows, err := GridSmoothExperiment()
+			return fmt.Sprintf("%+v", rows), err
+		})
+	})
+	t.Run("NetSweep", func(t *testing.T) {
+		bothEngines(t, "netsweep", func() (string, error) {
+			rows, err := NetworkSweepExperiment()
+			return fmt.Sprintf("%+v", rows), err
+		})
+	})
+}
+
+// TestDeterminismTraceAndState drives a mixed multi-node workload under
+// both engines and compares the complete observable machine state: run
+// cycle counts, every register (value, tag, and scoreboard bit), thread
+// status and PCs, per-chip statistics including the stall counters the
+// fast-forward path replays, and the full trace event stream.
+func TestDeterminismTraceAndState(t *testing.T) {
+	workload := func() (string, error) {
+		s, err := NewSim(Options{Nodes: 4, Caching: true})
+		if err != nil {
+			return "", err
+		}
+		// Node 0: remote stores and loads against node 1's home range.
+		if err := s.LoadASM(0, 0, 0, `
+    movi i1, #4096
+    movi i2, #0
+    movi i3, #12
+loop:
+    st [i1], i2
+    ld i4, [i1]
+    add i5, i5, i4
+    add i1, i1, #5
+    add i2, i2, #1
+    lt i6, i2, i3
+    brt i6, loop
+    halt
+`); err != nil {
+			return "", err
+		}
+		// Node 2: purely local work with LTLB misses.
+		if err := s.LoadASM(2, 0, 0, `
+    movi i1, #8192
+    movi i2, #0
+    movi i3, #20
+loop:
+    st [i1], i2
+    add i1, i1, #9
+    add i2, i2, #1
+    lt i6, i2, i3
+    brt i6, loop
+    halt
+`); err != nil {
+			return "", err
+		}
+		// Node 3 stays completely idle: the engine must skip it for free
+		// while still accounting its handler threads' stall cycles.
+		cycles, err := s.Run(500000)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "cycles=%d end=%d\n", cycles, s.M.Cycle)
+		for n := 0; n < s.M.NumNodes(); n++ {
+			c := s.M.Chip(n)
+			fmt.Fprintf(&b, "node%d insts=%d ops=%d blocked=%d returned=%d ltlb=%d status=%d sync=%d\n",
+				n, c.InstsIssued, c.OpsIssued, c.SendsBlocked, c.MsgsReturned,
+				c.Mem.LTLBFaults, c.Mem.StatusFaults, c.Mem.SyncFaults)
+			for vt := 0; vt < isa.NumVThreads; vt++ {
+				for cl := 0; cl < isa.NumClusters; cl++ {
+					th := c.Thread(vt, cl)
+					fmt.Fprintf(&b, "  t%d.%d st=%v pc=%d issued=%d stalls=%d",
+						vt, cl, th.Status, th.PC, th.Issued, th.StallCycles)
+					for i := 0; i < th.Ints.Len(); i++ {
+						w := th.Ints.Get(i)
+						fmt.Fprintf(&b, " i%d=%x/%v/%v", i, w.Bits, w.Ptr, th.Ints.Full(i))
+					}
+					for i := 0; i < th.FPs.Len(); i++ {
+						w := th.FPs.Get(i)
+						fmt.Fprintf(&b, " f%d=%x/%v", i, w.Bits, th.FPs.Full(i))
+					}
+					b.WriteString("\n")
+				}
+			}
+		}
+		for _, e := range s.Recorder.Events {
+			fmt.Fprintf(&b, "trace %d %d %s %s\n", e.Cycle, e.Node, e.Name, e.Detail)
+		}
+		return b.String(), nil
+	}
+	bothEngines(t, "trace+state", workload)
+}
+
+// TestDeterminismLockstep steps a naive and an event-engine machine in
+// strict lockstep (via Machine.Step, no fast-forward jumps) and asserts
+// identical per-cycle trace streams — the cycle-for-cycle form of the
+// equivalence the fast-forward path then builds on.
+func TestDeterminismLockstep(t *testing.T) {
+	build := func(naive bool) (*Sim, error) {
+		s, err := NewSim(Options{Nodes: 2, NaiveEngine: naive})
+		if err != nil {
+			return nil, err
+		}
+		err = s.LoadASM(0, 0, 0, `
+    movi i1, #4100
+    movi i2, #777
+    st [i1], i2
+    ld i3, [i1]
+    add i4, i3, #1
+    halt
+`)
+		return s, err
+	}
+	a, err := build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := func(s *Sim) string { return trace.Timeline(s.Recorder.Events) }
+	for i := 0; i < 2000; i++ {
+		a.M.Step()
+		b.M.Step()
+		if a.M.Cycle != b.M.Cycle {
+			t.Fatalf("cycle skew at step %d: %d vs %d", i, a.M.Cycle, b.M.Cycle)
+		}
+	}
+	if tr(a) != tr(b) {
+		t.Fatalf("trace streams diverged:\n--- naive ---\n%s\n--- event ---\n%s", tr(a), tr(b))
+	}
+	if got, want := b.Reg(0, 0, 0, 4), a.Reg(0, 0, 0, 4); got != want {
+		t.Fatalf("final i4: event %d vs naive %d", got, want)
+	}
+}

@@ -9,6 +9,7 @@ package events
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -96,12 +97,21 @@ func (r Record) Request() mem.Request {
 	}
 }
 
+// NoEvent is the NextEvent sentinel meaning "this component will never act
+// again without external input" (see DESIGN.md, "The NextEvent contract").
+const NoEvent = int64(math.MaxInt64)
+
 // Queue is a hardware event queue: a bounded FIFO of words. Each record
 // occupies RecordWords entries; the handler H-Thread pops them one word at
 // a time through the register-mapped evq register, which stalls while the
 // queue is empty.
+//
+// Pop advances a head index instead of re-slicing, and the backing array is
+// reset for reuse whenever the queue drains, so the steady-state hot path
+// never allocates.
 type Queue struct {
 	words []isa.Word
+	head  int
 	cap   int
 
 	Enqueued, Dropped uint64
@@ -116,48 +126,70 @@ func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
 // Push enqueues a record; it reports false if the queue would overflow.
 func (q *Queue) Push(r Record) bool {
 	w := r.Encode()
-	if q.cap > 0 && len(q.words)+RecordWords > q.cap {
+	if q.cap > 0 && q.Len()+RecordWords > q.cap {
 		q.Dropped++
 		return false
 	}
 	q.words = append(q.words, w[:]...)
 	q.Enqueued++
-	if len(q.words) > q.HighWater {
-		q.HighWater = len(q.words)
+	if q.Len() > q.HighWater {
+		q.HighWater = q.Len()
 	}
 	return true
 }
 
 // PushWords enqueues raw words (used for message bodies when a queue serves
-// as a message queue).
+// as a message queue). The words are copied, so the caller may reuse ws.
 func (q *Queue) PushWords(ws []isa.Word) bool {
-	if q.cap > 0 && len(q.words)+len(ws) > q.cap {
+	if q.cap > 0 && q.Len()+len(ws) > q.cap {
 		q.Dropped++
 		return false
 	}
 	q.words = append(q.words, ws...)
-	if len(q.words) > q.HighWater {
-		q.HighWater = len(q.words)
+	if q.Len() > q.HighWater {
+		q.HighWater = q.Len()
 	}
 	return true
 }
 
 // Empty reports whether no words are waiting.
-func (q *Queue) Empty() bool { return len(q.words) == 0 }
+func (q *Queue) Empty() bool { return q.Len() == 0 }
 
 // Len returns the number of words waiting.
-func (q *Queue) Len() int { return len(q.words) }
+func (q *Queue) Len() int { return len(q.words) - q.head }
 
 // Pop dequeues one word; it panics if the queue is empty (the issue stage
 // must check Empty first — an evq read "will not issue if the queue is
 // empty").
 func (q *Queue) Pop() isa.Word {
-	if len(q.words) == 0 {
+	if q.Empty() {
 		panic("events: pop from empty queue")
 	}
-	w := q.words[0]
-	q.words = q.words[1:]
+	w := q.words[q.head]
+	q.head++
+	if q.head == len(q.words) {
+		q.words, q.head = q.words[:0], 0
+	} else if q.head >= 64 && q.head*2 >= len(q.words) {
+		// Compact once the dead prefix dominates, so a queue that hovers
+		// non-empty for a long run keeps memory O(live words) rather than
+		// retaining everything pushed since its last full drain.
+		n := copy(q.words, q.words[q.head:])
+		q.words, q.head = q.words[:n], 0
+	}
 	return w
+}
+
+// NextEvent implements the engine's NextEvent contract for a passive queue:
+// a non-empty queue can be consumed now; an empty one never acts on its
+// own. Note the chip's wake computation does not consult queues — a
+// consumable queue implies a handler thread the issue scan already
+// watches — so this exists for the contract's completeness (components a
+// future scheduler might poll directly), not for the chip hot path.
+func (q *Queue) NextEvent(now int64) int64 {
+	if q.Empty() {
+		return NoEvent
+	}
+	return now
 }
 
 func (r Record) String() string {

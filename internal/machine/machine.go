@@ -14,6 +14,10 @@ import (
 	"repro/internal/noc"
 )
 
+// NoEvent is the NextEvent sentinel meaning "no component will ever act
+// again without external input" (see DESIGN.md, "The NextEvent contract").
+const NoEvent = chip.NoEvent
+
 // Config describes a machine.
 type Config struct {
 	Dims noc.Coord // mesh dimensions
@@ -34,6 +38,14 @@ type Machine struct {
 	Chips []*chip.Chip
 
 	Cycle int64
+
+	// Naive selects the reference engine: Step advances every component
+	// every cycle (StepAll) and Run never fast-forwards. The default
+	// event-driven engine skips components whose NextEvent lies in the
+	// future and jumps the clock over machine-wide idle stretches; both
+	// engines produce bit-identical state, cycle counts, fault behavior,
+	// and trace output (enforced by TestDeterminismEngines in core).
+	Naive bool
 
 	// nextPPN allocates physical pages per node for MapLocal; runtime
 	// handlers allocate from a separate high region (see AllocBase).
@@ -89,13 +101,67 @@ func (m *Machine) NumNodes() int { return len(m.Chips) }
 // Chip returns node i's processor.
 func (m *Machine) Chip(i int) *chip.Chip { return m.Chips[i] }
 
-// Step advances the whole machine one cycle.
-func (m *Machine) Step() {
+// StepAll advances the whole machine one cycle the naive way: every chip
+// and the network step unconditionally. This is the reference (debug)
+// engine the event-driven Step is validated against.
+func (m *Machine) StepAll() {
 	for _, c := range m.Chips {
 		c.Step(m.Cycle)
 	}
 	m.Net.Step(m.Cycle)
 	m.Cycle++
+}
+
+// Step advances the whole machine one cycle. The event-driven engine steps
+// only the chips whose NextEvent is due; a skipped chip replays its idle
+// stat side effects via SkipCycles, so observable state evolves exactly as
+// under StepAll. The network walk runs only when a message can move.
+func (m *Machine) Step() {
+	if m.Naive {
+		m.StepAll()
+		return
+	}
+	now := m.Cycle
+	for _, c := range m.Chips {
+		if c.NextEvent(now) <= now {
+			c.Step(now)
+		} else {
+			c.SkipCycles(1)
+		}
+	}
+	if m.Net.NeedsStep(now) {
+		m.Net.Step(now)
+	}
+	// A delivery at cycle now is consumed by the destination's network
+	// input interface at now+1: wake the chip.
+	for i, c := range m.Chips {
+		if m.Net.HasArrivals(i) {
+			c.WakeAt(now + 1)
+		}
+	}
+	m.Cycle++
+}
+
+// NextEvent reports the earliest cycle >= now at which any component of the
+// machine can change state without new external input, NoEvent if the
+// machine is permanently idle (deadlocked or finished).
+func (m *Machine) NextEvent(now int64) int64 {
+	next := m.Net.NextEvent(now)
+	for _, c := range m.Chips {
+		if w := c.NextEvent(now); w < next {
+			next = w
+		}
+	}
+	return next
+}
+
+// skip fast-forwards the machine clock d cycles; the caller must have
+// established via NextEvent that no component can act inside the window.
+func (m *Machine) skip(d int64) {
+	for _, c := range m.Chips {
+		c.SkipCycles(d)
+	}
+	m.Cycle += d
 }
 
 // UserDone reports whether every loaded user H-Thread has halted or
@@ -136,11 +202,21 @@ const quietWindow = 32
 // quiescent (no queued work and no instruction issued) for quietWindow
 // cycles, or maxCycles elapse. It returns the cycles executed (excluding
 // the quiet window) and an error on timeout or if any user thread faulted.
+//
+// Under the event-driven engine Run additionally fast-forwards: after each
+// step it asks every component for its NextEvent and, when the minimum lies
+// beyond the next cycle, jumps the clock there in one go. The skipped
+// cycles are provably no-ops (no component may act, so the loop-head
+// bookkeeping below is frozen too), and their only observable effects —
+// per-cycle stall statistics — are replayed exactly by Machine.skip, so
+// cycle counts, state, and traces stay bit-identical to the naive loop.
 func (m *Machine) Run(maxCycles int64) (int64, error) {
+	m.WakeAll()
 	start := m.Cycle
+	bound := start + maxCycles + quietWindow
 	idle := int64(0)
 	prevIssued := m.totalIssued()
-	for m.Cycle-start < maxCycles+quietWindow {
+	for m.Cycle < bound {
 		if m.UserDone() && m.Quiescent() {
 			if issued := m.totalIssued(); issued == prevIssued {
 				idle++
@@ -154,11 +230,49 @@ func (m *Machine) Run(maxCycles int64) (int64, error) {
 			prevIssued, idle = m.totalIssued(), 0
 		}
 		m.Step()
+		if !m.Naive {
+			m.fastForward(bound, &idle)
+		}
 	}
 	if m.UserDone() {
 		return m.Cycle - start, m.FaultError()
 	}
 	return m.Cycle - start, fmt.Errorf("machine: no completion within %d cycles", maxCycles)
+}
+
+// fastForward jumps the clock to the machine's next event (clamped to
+// bound), emulating the loop-head bookkeeping of Run for every skipped
+// iteration. State is frozen across the window, so the per-iteration
+// checks are constant: either the machine is done and quiescent — each
+// skipped iteration increments the idle counter, and the jump must stop
+// one cycle before the counter reaches the quiet window so the next real
+// iteration returns exactly where the naive loop would — or it is not, and
+// each iteration resets the counter.
+func (m *Machine) fastForward(bound int64, idle *int64) {
+	next := m.NextEvent(m.Cycle)
+	if next > bound {
+		next = bound
+	}
+	d := next - m.Cycle
+	if d <= 0 {
+		return
+	}
+	if m.UserDone() && m.Quiescent() {
+		// totalIssued cannot have changed (an issue would have set the
+		// issuing chip's NextEvent to the very next cycle), so every
+		// skipped iteration takes the idle++ branch.
+		room := quietWindow - *idle - 1
+		if room <= 0 {
+			return
+		}
+		if d > room {
+			d = room
+		}
+		*idle += d
+	} else {
+		*idle = 0
+	}
+	m.skip(d)
 }
 
 func (m *Machine) totalIssued() uint64 {
@@ -169,8 +283,23 @@ func (m *Machine) totalIssued() uint64 {
 	return n
 }
 
-// RunUntil steps until pred holds or maxCycles elapse.
+// WakeAll forces every chip to re-derive its next event on its coming
+// step. Run and RunUntil call it on entry so that any state mutated from
+// outside the simulation between runs (program loads, register pokes) is
+// observed; within a run the engine maintains wake cycles itself.
+func (m *Machine) WakeAll() {
+	for _, c := range m.Chips {
+		c.Touch()
+	}
+}
+
+// RunUntil steps until pred holds or maxCycles elapse. The event engine
+// advances cycle-by-cycle here (components are still skipped when idle,
+// but the clock is not fast-forwarded), so an arbitrary predicate — even
+// one reading Machine.Cycle — observes exactly the per-cycle sequence the
+// naive loop produces.
 func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
+	m.WakeAll()
 	start := m.Cycle
 	for m.Cycle-start < maxCycles {
 		if pred() {

@@ -2,10 +2,14 @@ package mem
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/isa"
 )
+
+// NoEvent is the NextEvent sentinel meaning "this component will never act
+// again without external input" (see DESIGN.md, "The NextEvent contract").
+const NoEvent = int64(math.MaxInt64)
 
 // Kind discriminates memory requests submitted by the memory units.
 type Kind uint8
@@ -136,7 +140,13 @@ type System struct {
 	device   Device
 
 	inflight []Response
-	seq      uint64
+	// earliest caches the minimum ReadyAt across inflight, so idle banks
+	// answer Step and NextEvent without scanning anything.
+	earliest int64
+	// ready is the reusable buffer returned by Step; the caller consumes it
+	// before the next Step call.
+	ready []Response
+	seq   uint64
 	// bankFreeAt enforces one new request per bank per cycle (the M-Switch
 	// supports four transfers per cycle, one per bank).
 	bankFreeAt [4]int64
@@ -149,10 +159,11 @@ type System struct {
 // NewSystem builds a memory system from cfg.
 func NewSystem(cfg Config) *System {
 	return &System{
-		cfg:   cfg,
-		SDRAM: NewSDRAM(cfg.SDRAM),
-		Cache: NewCache(cfg.Cache),
-		LTLB:  NewLTLB(cfg.LTLBEntries),
+		cfg:      cfg,
+		SDRAM:    NewSDRAM(cfg.SDRAM),
+		Cache:    NewCache(cfg.Cache),
+		LTLB:     NewLTLB(cfg.LTLBEntries),
+		earliest: NoEvent,
 	}
 }
 
@@ -177,25 +188,54 @@ func (m *System) Submit(now int64, req Request) {
 	m.bankFreeAt[bank] = now + 1
 	resp := m.execute(now, req)
 	m.inflight = append(m.inflight, resp)
+	if resp.ReadyAt < m.earliest {
+		m.earliest = resp.ReadyAt
+	}
 }
 
 // Step returns the responses that become visible at cycle now, in
-// deterministic (ReadyAt, submission) order.
+// deterministic (ReadyAt, submission) order. The returned slice is reused
+// by the next Step call, so the caller must consume it first. Idle cycles
+// (nothing in flight, or nothing due yet) return nil without scanning.
 func (m *System) Step(now int64) []Response {
-	if len(m.inflight) == 0 {
+	if len(m.inflight) == 0 || now < m.earliest {
 		return nil
 	}
-	var ready, rest []Response
+	m.ready = m.ready[:0]
+	rest := m.inflight[:0]
+	next := NoEvent
 	for _, r := range m.inflight {
 		if r.ReadyAt <= now {
-			ready = append(ready, r)
+			m.ready = append(m.ready, r)
 		} else {
 			rest = append(rest, r)
+			if r.ReadyAt < next {
+				next = r.ReadyAt
+			}
 		}
 	}
 	m.inflight = rest
-	sort.SliceStable(ready, func(i, j int) bool { return ready[i].ReadyAt < ready[j].ReadyAt })
-	return ready
+	m.earliest = next
+	// Stable insertion sort by ReadyAt: responses are few and nearly
+	// ordered, and equal deadlines must keep submission order.
+	for i := 1; i < len(m.ready); i++ {
+		for j := i; j > 0 && m.ready[j].ReadyAt < m.ready[j-1].ReadyAt; j-- {
+			m.ready[j], m.ready[j-1] = m.ready[j-1], m.ready[j]
+		}
+	}
+	return m.ready
+}
+
+// NextEvent reports the earliest cycle >= now at which a response becomes
+// visible, or NoEvent if nothing is in flight.
+func (m *System) NextEvent(now int64) int64 {
+	if len(m.inflight) == 0 {
+		return NoEvent
+	}
+	if m.earliest < now {
+		return now
+	}
+	return m.earliest
 }
 
 // Pending reports how many requests are in flight.

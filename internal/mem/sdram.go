@@ -40,6 +40,20 @@ func DefaultSDRAMConfig() SDRAMConfig {
 	}
 }
 
+// chunkWords is the lazily-materialized SDRAM allocation granule: storage
+// for a chunk (data words plus the out-of-band pointer-tag and
+// synchronization bits) is allocated on first write. Untouched physical
+// memory reads as zero either way, so laziness is invisible to programs,
+// but booting a node costs microseconds instead of zeroing 8 MBytes — the
+// dominant cost of experiment harnesses that build many fresh machines.
+const chunkWords = 1 << 13 // 8 KW = 64 KBytes of data per chunk
+
+type sdramChunk struct {
+	words [chunkWords]uint64
+	ptr   [chunkWords / 64]uint64
+	sync  [chunkWords / 64]uint64
+}
+
 // SDRAM models a node's local synchronous DRAM: the word array plus the
 // out-of-band pointer-tag and synchronization bits, and page-mode timing
 // state. The SECDED error control of the paper's controller is represented
@@ -47,9 +61,7 @@ func DefaultSDRAMConfig() SDRAMConfig {
 // matching a no-error run.
 type SDRAM struct {
 	cfg     SDRAMConfig
-	words   []uint64
-	ptrTags bitset
-	sync    bitset
+	chunks  []*sdramChunk
 	openRow uint64
 	hasOpen bool
 
@@ -57,14 +69,22 @@ type SDRAM struct {
 	RowHits, RowMisses uint64
 }
 
-// NewSDRAM allocates the physical memory arrays.
+// NewSDRAM builds the physical memory; storage materializes on first write.
 func NewSDRAM(cfg SDRAMConfig) *SDRAM {
 	return &SDRAM{
-		cfg:     cfg,
-		words:   make([]uint64, cfg.Words),
-		ptrTags: newBitset(cfg.Words),
-		sync:    newBitset(cfg.Words),
+		cfg:    cfg,
+		chunks: make([]*sdramChunk, (cfg.Words+chunkWords-1)/chunkWords),
 	}
+}
+
+// chunkFor returns the chunk containing pa, materializing it if needed.
+func (s *SDRAM) chunkFor(pa uint64) *sdramChunk {
+	ch := s.chunks[pa/chunkWords]
+	if ch == nil {
+		ch = new(sdramChunk)
+		s.chunks[pa/chunkWords] = ch
+	}
+	return ch
 }
 
 // Size returns the physical capacity in words.
@@ -79,26 +99,49 @@ func (s *SDRAM) check(pa uint64) {
 // Read returns the word and pointer tag at physical address pa.
 func (s *SDRAM) Read(pa uint64) (uint64, bool) {
 	s.check(pa)
-	return s.words[pa], s.ptrTags.get(pa)
+	ch := s.chunks[pa/chunkWords]
+	if ch == nil {
+		return 0, false
+	}
+	off := pa % chunkWords
+	return ch.words[off], ch.ptr[off/64]&(1<<(off%64)) != 0
 }
 
 // Write stores a word and its pointer tag at physical address pa.
 func (s *SDRAM) Write(pa uint64, w uint64, ptr bool) {
 	s.check(pa)
-	s.words[pa] = w
-	s.ptrTags.set(pa, ptr)
+	ch := s.chunkFor(pa)
+	off := pa % chunkWords
+	ch.words[off] = w
+	if ptr {
+		ch.ptr[off/64] |= 1 << (off % 64)
+	} else {
+		ch.ptr[off/64] &^= 1 << (off % 64)
+	}
 }
 
 // SyncBit returns the synchronization bit for physical address pa.
 func (s *SDRAM) SyncBit(pa uint64) bool {
 	s.check(pa)
-	return s.sync.get(pa)
+	ch := s.chunks[pa/chunkWords]
+	if ch == nil {
+		return false
+	}
+	return ch.sync[pa%chunkWords/64]&(1<<(pa%64)) != 0
 }
 
 // SetSyncBit sets or clears the synchronization bit for pa.
 func (s *SDRAM) SetSyncBit(pa uint64, full bool) {
 	s.check(pa)
-	s.sync.set(pa, full)
+	if !full && s.chunks[pa/chunkWords] == nil {
+		return // untouched memory is already empty
+	}
+	ch := s.chunkFor(pa)
+	if full {
+		ch.sync[pa%chunkWords/64] |= 1 << (pa % 64)
+	} else {
+		ch.sync[pa%chunkWords/64] &^= 1 << (pa % 64)
+	}
 }
 
 // AccessLatency returns the latency of a block access beginning at physical
@@ -114,19 +157,4 @@ func (s *SDRAM) AccessLatency(pa uint64) int64 {
 	s.hasOpen = true
 	s.RowMisses++
 	return s.cfg.RowMissLat
-}
-
-// bitset is a packed bit array used for the out-of-band per-word state.
-type bitset []uint64
-
-func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) get(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
-
-func (b bitset) set(i uint64, v bool) {
-	if v {
-		b[i/64] |= 1 << (i % 64)
-	} else {
-		b[i/64] &^= 1 << (i % 64)
-	}
 }

@@ -1,0 +1,67 @@
+package noc
+
+import "testing"
+
+// BenchmarkNetworkStep measures the per-cycle cost of the network walk in
+// steady state: 32 messages bounce continuously between opposite corners
+// of a 4x4x2 mesh, each delivery immediately re-injected in the reverse
+// direction. The inner loop must show zero allocations per cycle — the
+// flight lists compact in place, link arbitration uses a flat array, and
+// the arrival queues recycle their backing storage.
+func BenchmarkNetworkStep(b *testing.B) {
+	n := New(Coord{X: 4, Y: 4, Z: 2}, DefaultConfig())
+	corners := [2]Coord{{0, 0, 0}, {3, 3, 1}}
+	for i := 0; i < 32; i++ {
+		src, dst := corners[i%2], corners[(i+1)%2]
+		n.Inject(0, &Message{Pri: i % NumPriorities, Src: src, Dst: dst})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		n.Step(now)
+		for idx := 0; idx < n.NumNodes(); idx++ {
+			c := n.CoordOf(idx)
+			for pri := 0; pri < NumPriorities; pri++ {
+				for m := n.Pop(c, pri); m != nil; m = n.Pop(c, pri) {
+					m.Src, m.Dst = m.Dst, m.Src
+					m.Hops = 0
+					n.Inject(now, m)
+				}
+			}
+		}
+		now++
+	}
+}
+
+// TestNetworkStepNoAllocs pins the zero-allocation property so a regression
+// fails tests, not just a benchmark eyeball.
+func TestNetworkStepNoAllocs(t *testing.T) {
+	n := New(Coord{X: 4, Y: 4, Z: 2}, DefaultConfig())
+	corners := [2]Coord{{0, 0, 0}, {3, 3, 1}}
+	for i := 0; i < 32; i++ {
+		src, dst := corners[i%2], corners[(i+1)%2]
+		n.Inject(0, &Message{Pri: i % NumPriorities, Src: src, Dst: dst})
+	}
+	now := int64(0)
+	cycle := func() {
+		n.Step(now)
+		for idx := 0; idx < n.NumNodes(); idx++ {
+			c := n.CoordOf(idx)
+			for pri := 0; pri < NumPriorities; pri++ {
+				for m := n.Pop(c, pri); m != nil; m = n.Pop(c, pri) {
+					m.Src, m.Dst = m.Dst, m.Src
+					m.Hops = 0
+					n.Inject(now, m)
+				}
+			}
+		}
+		now++
+	}
+	for i := 0; i < 200; i++ { // warm up buffers to steady state
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(500, cycle); avg != 0 {
+		t.Errorf("network steady-state cycle allocates %.2f objects, want 0", avg)
+	}
+}

@@ -14,13 +14,17 @@ package noc
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/isa"
 )
 
 // NumPriorities is the number of network priorities (requests and replies).
 const NumPriorities = 2
+
+// NoEvent is the NextEvent sentinel meaning "this component will never act
+// again without external input" (see DESIGN.md, "The NextEvent contract").
+const NoEvent = int64(math.MaxInt64)
 
 // Coord is a node position in the 3-D mesh.
 type Coord struct{ X, Y, Z int }
@@ -74,24 +78,50 @@ type inflight struct {
 	readyAt int64 // cycle the next hop may begin
 }
 
-type linkKey struct {
-	from Coord
-	dim  int // 0=X, 1=Y, 2=Z
-	neg  bool
-	pri  int
+// msgQueue is an allocation-free FIFO of delivered messages: Pop advances a
+// head index instead of re-slicing, and the backing array is reset for reuse
+// whenever the queue drains, so steady-state traffic recycles one buffer.
+type msgQueue struct {
+	buf  []*Message
+	head int
 }
+
+func (q *msgQueue) push(m *Message) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) pop() *Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return m
+}
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
 
 // Network is the 3-D mesh interconnect shared by all nodes.
 type Network struct {
-	cfg    Config
-	dims   Coord
-	flight []inflight
+	cfg  Config
+	dims Coord
+	// flight holds in-flight messages, one list per priority. Injection
+	// appends, so each list stays sorted by injection sequence; Step
+	// compacts in place, preserving that order.
+	flight [NumPriorities][]inflight
 	seq    uint64
-	// linkBusy enforces one message per link per priority per cycle.
-	linkBusy map[linkKey]int64
+	// linkBusy enforces one message per link per priority per cycle. It is
+	// a flat array indexed by linkIndex (node x dimension x direction x
+	// priority) holding the cycle through which the link is granted; stale
+	// entries are never consulted, so no per-cycle clearing is needed.
+	linkBusy []int64
 	// arrivals holds delivered messages per node per priority until the
-	// node's network input interface consumes them.
-	arrivals map[Coord]*[NumPriorities][]*Message
+	// node's network input interface consumes them, indexed by node id.
+	arrivals     [][NumPriorities]msgQueue
+	arrivalCount int // total undelivered-to-chip messages across all nodes
+
+	// nextWake caches the earliest readyAt among in-flight messages,
+	// recomputed by Step and lowered by Inject (the NextEvent source).
+	nextWake int64
 
 	// Stats.
 	Injected, Delivered uint64
@@ -103,12 +133,24 @@ func New(dims Coord, cfg Config) *Network {
 	if dims.X < 1 || dims.Y < 1 || dims.Z < 1 {
 		panic(fmt.Sprintf("noc: bad mesh dimensions %v", dims))
 	}
+	nodes := dims.X * dims.Y * dims.Z
 	return &Network{
 		cfg:      cfg,
 		dims:     dims,
-		linkBusy: make(map[linkKey]int64),
-		arrivals: make(map[Coord]*[NumPriorities][]*Message),
+		linkBusy: make([]int64, nodes*3*2*NumPriorities),
+		arrivals: make([][NumPriorities]msgQueue, nodes),
+		nextWake: NoEvent,
 	}
+}
+
+// linkIndex flattens (node, dimension, direction, priority) into the
+// linkBusy array.
+func (n *Network) linkIndex(from Coord, dim int, neg bool, pri int) int {
+	d := 0
+	if neg {
+		d = 1
+	}
+	return ((n.Index(from)*3+dim)*2+d)*NumPriorities + pri
 }
 
 // Dims returns the mesh dimensions.
@@ -151,59 +193,93 @@ func (n *Network) Inject(now int64, m *Message) {
 	n.seq++
 	m.InjectedAt = now
 	n.Injected++
-	n.flight = append(n.flight, inflight{
+	ready := now + n.cfg.InjectLat
+	n.flight[m.Pri] = append(n.flight[m.Pri], inflight{
 		msg:     m,
 		at:      m.Src,
-		readyAt: now + n.cfg.InjectLat,
+		readyAt: ready,
 	})
+	if ready < n.nextWake {
+		n.nextWake = ready
+	}
 }
 
 // Step advances the network by one cycle; now is the current cycle. Higher
 // priority (replies) wins link arbitration via its separate virtual channel;
-// within a priority, older messages win.
+// within a priority, older messages win. The per-priority flight lists are
+// already in injection-sequence order, so no sorting is needed; survivors
+// are compacted in place and no allocation happens on the steady-state path.
 func (n *Network) Step(now int64) {
-	// Deterministic order: by readiness, then priority (1 first), then age.
-	sort.SliceStable(n.flight, func(i, j int) bool {
-		a, b := n.flight[i], n.flight[j]
-		if a.msg.Pri != b.msg.Pri {
-			return a.msg.Pri > b.msg.Pri
-		}
-		return a.msg.Seq < b.msg.Seq
-	})
-	var remaining []inflight
-	for _, f := range n.flight {
-		if f.readyAt > now {
+	wake := NoEvent
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		flights := n.flight[pri]
+		remaining := flights[:0]
+		for _, f := range flights {
+			if f.readyAt > now {
+				remaining = append(remaining, f)
+				if f.readyAt < wake {
+					wake = f.readyAt
+				}
+				continue
+			}
+			if f.at == f.msg.Dst {
+				// Delivery into the node's hardware message queue.
+				n.arrivals[n.Index(f.at)][pri].push(f.msg)
+				n.arrivalCount++
+				f.msg.DeliveredAt = now
+				n.Delivered++
+				continue
+			}
+			dim, neg := nextHop(f.at, f.msg.Dst)
+			li := n.linkIndex(f.at, dim, neg, pri)
+			if n.linkBusy[li] == now+1 {
+				// Link already granted this cycle: wait.
+				f.readyAt = now + 1
+				remaining = append(remaining, f)
+				wake = now + 1
+				continue
+			}
+			n.linkBusy[li] = now + 1
+			f.at = move(f.at, dim, neg)
+			f.msg.Hops++
+			n.TotalHops++
+			if f.at == f.msg.Dst {
+				f.readyAt = now + n.cfg.HopLat + n.cfg.DeliverLat
+			} else {
+				f.readyAt = now + n.cfg.HopLat
+			}
 			remaining = append(remaining, f)
-			continue
+			if f.readyAt < wake {
+				wake = f.readyAt
+			}
 		}
-		if f.at == f.msg.Dst {
-			// Delivery into the node's hardware message queue.
-			q := n.queues(f.at)
-			q[f.msg.Pri] = append(q[f.msg.Pri], f.msg)
-			f.msg.DeliveredAt = now
-			n.Delivered++
-			continue
+		// Clear the moved-from tail so delivered messages can be collected.
+		for i := len(remaining); i < len(flights); i++ {
+			flights[i] = inflight{}
 		}
-		dim, neg := nextHop(f.at, f.msg.Dst)
-		key := linkKey{from: f.at, dim: dim, neg: neg, pri: f.msg.Pri}
-		if n.linkBusy[key] == now+1 {
-			// Link already granted this cycle: wait.
-			f.readyAt = now + 1
-			remaining = append(remaining, f)
-			continue
-		}
-		n.linkBusy[key] = now + 1
-		f.at = move(f.at, dim, neg)
-		f.msg.Hops++
-		n.TotalHops++
-		if f.at == f.msg.Dst {
-			f.readyAt = now + n.cfg.HopLat + n.cfg.DeliverLat
-		} else {
-			f.readyAt = now + n.cfg.HopLat
-		}
-		remaining = append(remaining, f)
+		n.flight[pri] = remaining
 	}
-	n.flight = remaining
+	n.nextWake = wake
+}
+
+// NextEvent reports the earliest cycle >= now at which the network's state
+// can change on its own: the soonest in-flight readiness, or now while
+// delivered messages await consumption by a node. NoEvent means the network
+// is empty and will not act until the next Inject.
+func (n *Network) NextEvent(now int64) int64 {
+	if n.arrivalCount > 0 {
+		return now
+	}
+	if n.nextWake < now {
+		return now
+	}
+	return n.nextWake
+}
+
+// NeedsStep reports whether Step(now) would change any network state, so
+// the engine can skip the walk entirely on idle cycles.
+func (n *Network) NeedsStep(now int64) bool {
+	return (len(n.flight[0]) > 0 || len(n.flight[1]) > 0) && n.nextWake <= now
 }
 
 // nextHop applies dimension-order (X, then Y, then Z) routing.
@@ -234,44 +310,34 @@ func move(c Coord, dim int, neg bool) Coord {
 	return c
 }
 
-func (n *Network) queues(c Coord) *[NumPriorities][]*Message {
-	q := n.arrivals[c]
-	if q == nil {
-		q = new([NumPriorities][]*Message)
-		n.arrivals[c] = q
-	}
-	return q
-}
-
 // Pop removes and returns the oldest delivered message of the given
 // priority at node c, or nil if none is waiting.
 func (n *Network) Pop(c Coord, pri int) *Message {
-	q := n.queues(c)
-	if len(q[pri]) == 0 {
+	q := &n.arrivals[n.Index(c)][pri]
+	if q.len() == 0 {
 		return nil
 	}
-	m := q[pri][0]
-	q[pri] = q[pri][1:]
-	return m
+	n.arrivalCount--
+	return q.pop()
 }
 
 // PendingAt reports the number of delivered-but-unconsumed messages at c.
-func (n *Network) PendingAt(c Coord, pri int) int { return len(n.queues(c)[pri]) }
+func (n *Network) PendingAt(c Coord, pri int) int {
+	return n.arrivals[n.Index(c)][pri].len()
+}
+
+// HasArrivals reports whether node i has delivered-but-unconsumed messages
+// at either priority.
+func (n *Network) HasArrivals(i int) bool {
+	return n.arrivals[i][0].len() > 0 || n.arrivals[i][1].len() > 0
+}
 
 // InFlight reports the number of messages still travelling.
-func (n *Network) InFlight() int { return len(n.flight) }
+func (n *Network) InFlight() int { return len(n.flight[0]) + len(n.flight[1]) }
 
 // Quiescent reports whether no messages are in flight or waiting anywhere.
 func (n *Network) Quiescent() bool {
-	if len(n.flight) > 0 {
-		return false
-	}
-	for _, q := range n.arrivals {
-		if len(q[0])+len(q[1]) > 0 {
-			return false
-		}
-	}
-	return true
+	return n.InFlight() == 0 && n.arrivalCount == 0
 }
 
 // Distance returns the Manhattan hop count between two nodes.

@@ -17,6 +17,7 @@ package rt
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
@@ -55,8 +56,44 @@ type Runtime struct {
 	DIPBlockReply      uint64 // install a fetched block and retry
 }
 
-// New assembles the runtime for the given memory configuration.
+// rtCache memoizes assembled runtimes. Handler text depends only on the
+// memory configuration and the options, both plain value structs, and a
+// Runtime is immutable once assembled (Install only reads it and programs
+// are never mutated after fixup), so machines sharing a configuration can
+// share one runtime. Experiment harnesses build hundreds of fresh machines;
+// without this every boot re-runs the assembler five times.
+var (
+	rtCacheMu sync.Mutex
+	rtCache   = map[rtKey]*Runtime{}
+)
+
+type rtKey struct {
+	cfg  mem.Config
+	opts Options
+}
+
+// New assembles the runtime for the given memory configuration (or returns
+// the cached assembly for an already-seen configuration).
 func New(cfg mem.Config, opts Options) (*Runtime, error) {
+	key := rtKey{cfg: cfg, opts: opts}
+	rtCacheMu.Lock()
+	cached := rtCache[key]
+	rtCacheMu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	rt, err := build(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	rtCacheMu.Lock()
+	rtCache[key] = rt
+	rtCacheMu.Unlock()
+	return rt, nil
+}
+
+// build performs the actual assembly.
+func build(cfg mem.Config, opts Options) (*Runtime, error) {
 	rt := &Runtime{Opts: opts}
 
 	consts := fmt.Sprintf(`
