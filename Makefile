@@ -1,12 +1,15 @@
-# Build/verify entry points. `make ci` is the tier-1 gate plus a one-shot
-# benchmark smoke pass (every benchmark runs once, so a panicking or
-# regressed-to-failure benchmark breaks CI without paying for measurement).
+# Build/verify entry points. `make ci` is the tier-1 gate plus a race pass
+# over the parallel engine (short mode: the full experiment determinism
+# matrix is too slow under the race detector's instrumentation) and a
+# one-shot benchmark smoke pass (every benchmark runs once, so a panicking
+# or regressed-to-failure benchmark breaks CI without paying for
+# measurement).
 
 GO ?= go
 
-.PHONY: ci build vet test bench-smoke bench
+.PHONY: ci build vet test race speedup bench-smoke bench
 
-ci: build vet test bench-smoke
+ci: build vet test race speedup bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +19,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Parallel-engine speedup tripwire, in its own invocation so the wall-clock
+# measurement never contends with other package test binaries (it skips on
+# hosts with fewer than 4 cores).
+speedup:
+	PARALLEL_SPEEDUP=1 $(GO) test -run TestParallelSpeedup -count=1 .
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

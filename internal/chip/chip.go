@@ -150,6 +150,15 @@ type Chip struct {
 	resends    []resend
 	resendNext int64
 
+	// outbox buffers the messages this chip produced during the current
+	// Step (SENDs, hardware acks, resends). The chip never injects into the
+	// shared network directly: the machine drains outboxes in node-index
+	// order after every chip has stepped, which reproduces the serial
+	// engines' injection order exactly (a chip cannot observe another
+	// chip's same-cycle injections) while keeping Chip.Step free of shared
+	// state — the property the parallel engine shards on.
+	outbox []*noc.Message
+
 	// validDIPs restricts the dispatch instruction pointers user threads
 	// may name in SEND ("restricting the set of user accessible DIPs
 	// prevents a user handler from monopolizing the network input").
@@ -165,6 +174,14 @@ type Chip struct {
 	// Trace, if non-nil, receives simulation events for timeline
 	// reconstruction (Figure 9).
 	Trace func(cycle int64, node int, event, detail string)
+
+	// BufferTrace redirects trace events into a per-chip buffer that the
+	// machine flushes in node-index order after the chip phase (FlushTrace).
+	// The parallel engine sets it so concurrently stepping chips still
+	// produce the exact serial trace stream; the callback itself is shared
+	// and must not be invoked from worker goroutines.
+	BufferTrace bool
+	traceBuf    []traceEvent
 
 	Cycle int64
 
@@ -255,10 +272,54 @@ func (c *Chip) MsgQueue(p int) *events.Queue { return c.msgq[p] }
 // ExcQueue exposes the synchronous exception queue.
 func (c *Chip) ExcQueue() *events.Queue { return c.excq }
 
+// traceEvent is one buffered trace record (see BufferTrace).
+type traceEvent struct {
+	cycle         int64
+	event, detail string
+}
+
 func (c *Chip) trace(event, detail string) {
-	if c.Trace != nil {
-		c.Trace(c.Cycle, c.Index, event, detail)
+	if c.Trace == nil {
+		return
 	}
+	if c.BufferTrace {
+		c.traceBuf = append(c.traceBuf, traceEvent{c.Cycle, event, detail})
+		return
+	}
+	c.Trace(c.Cycle, c.Index, event, detail)
+}
+
+// FlushTrace delivers buffered trace events to the Trace callback in
+// emission order. The machine calls it per chip, in node-index order, after
+// the chip phase of each cycle; together with per-cycle flushing this keeps
+// the observed stream identical to the serial engines'.
+func (c *Chip) FlushTrace() {
+	if len(c.traceBuf) == 0 {
+		return
+	}
+	if c.Trace != nil {
+		for i := range c.traceBuf {
+			e := &c.traceBuf[i]
+			c.Trace(e.cycle, c.Index, e.event, e.detail)
+		}
+	}
+	c.traceBuf = c.traceBuf[:0]
+}
+
+// send buffers a message for injection into the network. The machine
+// injects it (FlushNet) after the chip phase of the current cycle.
+func (c *Chip) send(m *noc.Message) { c.outbox = append(c.outbox, m) }
+
+// FlushNet injects this chip's buffered messages into the shared network,
+// in the order they were produced. now must be the cycle the messages were
+// buffered on — injection timing (readyAt, sequence numbers) is then
+// identical to the historical direct-inject path.
+func (c *Chip) FlushNet(now int64) {
+	for i, m := range c.outbox {
+		c.Net.Inject(now, m)
+		c.outbox[i] = nil
+	}
+	c.outbox = c.outbox[:0]
 }
 
 // Step advances the chip one cycle. now must equal the chip's Cycle.
@@ -499,7 +560,7 @@ func (c *Chip) submitMem(now int64, req mem.Request, meta reqMeta) {
 // queued events or messages, or buffered resends.
 func (c *Chip) Quiescent() bool {
 	if c.Mem.Pending() > 0 || len(c.pendingRegs) > 0 || len(c.pendingGCC) > 0 ||
-		len(c.resends) > 0 || !c.excq.Empty() {
+		len(c.resends) > 0 || len(c.outbox) > 0 || !c.excq.Empty() {
 		return false
 	}
 	for _, q := range c.evq {

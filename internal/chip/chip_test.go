@@ -375,9 +375,12 @@ func TestSendConsumesCreditAndAckRestores(t *testing.T) {
 `, true)
 	credits0 := c0.Credits()
 	for i := 0; i < 60; i++ {
-		c0.Step(c0.Cycle)
-		c1.Step(c1.Cycle)
-		net.Step(c0.Cycle - 1)
+		now := c0.Cycle
+		c0.Step(now)
+		c1.Step(now)
+		c0.FlushNet(now)
+		c1.FlushNet(now)
+		net.Step(now)
 	}
 	if c1.MsgQueue(0).Empty() {
 		t.Fatal("message never arrived")

@@ -41,7 +41,7 @@ func (c *Chip) executeSend(now int64, vt, cl int, th *cluster.HThread, op *isa.O
 		msg.Pri = 1
 		msg.Dst = c.Net.CoordOf(idx)
 		msg.DstAddr = addrW.Bits
-		c.Net.Inject(now, msg)
+		c.send(msg)
 		c.trace("send", fmt.Sprintf("pri1 to node %d dip=%d len=%d", idx, msg.DIP, len(body)))
 		return
 	}
@@ -75,7 +75,7 @@ func (c *Chip) executeSend(now int64, vt, cl int, th *cluster.HThread, op *isa.O
 	msg.Pri = 0
 	msg.Dst = gtlbToNoc(home)
 	msg.DstAddr = a
-	c.Net.Inject(now, msg)
+	c.send(msg)
 	c.trace("send", fmt.Sprintf("pri0 to %v dip=%d len=%d", msg.Dst, msg.DIP, len(body)))
 }
 
@@ -130,7 +130,7 @@ func (c *Chip) receiveMsg(now int64, m *noc.Message) {
 			orig := *m
 			ack.Orig = &orig
 		}
-		c.Net.Inject(now, ack)
+		c.send(ack)
 	}
 	if accepted {
 		c.trace("msg-recv", fmt.Sprintf("pri%d dip=%d from %v", m.Pri, m.DIP, m.Src))
@@ -164,7 +164,7 @@ func (c *Chip) resendReturned(now int64) {
 			DstAddr: m.DstAddr,
 			Body:    m.Body,
 		}
-		c.Net.Inject(now, fresh)
+		c.send(fresh)
 		c.trace("resend", fmt.Sprintf("dip=%d to %v", m.DIP, m.Dst))
 	}
 	for i := len(kept); i < len(c.resends); i++ {

@@ -195,9 +195,12 @@ func TestMessageRejectGeneratesReturn(t *testing.T) {
     halt
 `, true)
 	for i := 0; i < 40; i++ {
-		c0.Step(c0.Cycle)
-		c1.Step(c1.Cycle)
-		net.Step(c0.Cycle - 1)
+		now := c0.Cycle
+		c0.Step(now)
+		c1.Step(now)
+		c0.FlushNet(now)
+		c1.FlushNet(now)
+		net.Step(now)
 	}
 	if c0.MsgsReturned == 0 {
 		t.Error("second message should have been returned")

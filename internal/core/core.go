@@ -48,6 +48,13 @@ type Options struct {
 	// are bit-identical (see TestDeterminismEngines); the naive loop is
 	// the debug baseline the engine is validated against.
 	NaiveEngine bool
+	// Workers selects the parallel chip engine: busy cycles shard the chip
+	// phase across this many goroutines (machine.Config.Workers). 0 uses
+	// the package default (serial unless SetDefaultWorkers was called),
+	// 1 forces serial, -1 uses GOMAXPROCS. Bit-identical to the serial
+	// engines on any mesh (TestDeterminismThreeWay); it pays off once the
+	// mesh is large and busy — use it for ≥ 16-node scenarios.
+	Workers int
 }
 
 // defaultNaiveEngine makes every subsequently built Sim use the naive
@@ -56,9 +63,19 @@ type Options struct {
 // under both engines; production code should leave it alone.
 var defaultNaiveEngine bool
 
+// defaultWorkers is the chip-engine worker count applied when
+// Options.Workers is zero; like defaultNaiveEngine it exists so the
+// determinism regressions can force whole experiment harnesses onto the
+// parallel engine.
+var defaultWorkers int
+
 // SetDefaultEngine selects the engine for sims that don't request one
 // explicitly: naive=true forces the reference per-cycle loop.
 func SetDefaultEngine(naive bool) { defaultNaiveEngine = naive }
+
+// SetDefaultWorkers sets the chip-engine worker count for sims that don't
+// request one explicitly (0 restores serial).
+func SetDefaultWorkers(n int) { defaultWorkers = n }
 
 // Sim is a booted M-Machine with its runtime installed.
 type Sim struct {
@@ -82,6 +99,10 @@ func NewSim(o Options) (*Sim, error) {
 		cfg.Dims = o.Dims
 	case o.Nodes > 0:
 		cfg.Dims = noc.Coord{X: o.Nodes, Y: 1, Z: 1}
+	}
+	cfg.Workers = o.Workers
+	if cfg.Workers == 0 {
+		cfg.Workers = defaultWorkers
 	}
 	m := machine.New(cfg)
 	m.Naive = o.NaiveEngine || defaultNaiveEngine

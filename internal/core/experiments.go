@@ -35,10 +35,12 @@ type StencilResult struct {
 // 27-point stencil on 1 and 4 H-Threads (paper: depth 12 -> 8 and 36 -> 17).
 func StencilExperiment() ([]StencilResult, error) {
 	paper := map[string]int{"7:1": 12, "7:2": 8, "27:1": 36, "27:4": 17}
-	var out []StencilResult
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		points, hthreads int
-	}{{7, 1}, {7, 2}, {27, 1}, {27, 4}} {
+	}{{7, 1}, {7, 2}, {27, 1}, {27, 4}}
+	out := make([]StencilResult, len(cfgs))
+	err := ForEachMachine(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		var st *workload.Stencil
 		var err error
 		if cfg.points == 7 {
@@ -47,14 +49,18 @@ func StencilExperiment() ([]StencilResult, error) {
 			st, err = workload.Stencil27(cfg.hthreads)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runStencil(st, cfg.points)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.PaperDepth = paper[fmt.Sprintf("%d:%d", cfg.points, cfg.hthreads)]
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -128,46 +134,54 @@ type LoopSyncResult struct {
 }
 
 // LoopSyncExperiment measures the Figure 6 protocol for 2 and 4 H-Threads.
+// The two configurations (and their unsynchronized baselines) run on
+// independent machines, concurrently.
 func LoopSyncExperiment(iters int) ([]LoopSyncResult, error) {
-	var out []LoopSyncResult
-	for _, ht := range []int{2, 4} {
+	hts := []int{2, 4}
+	out := make([]LoopSyncResult, len(hts))
+	err := ForEachMachine(len(hts), func(i int) error {
+		ht := hts[i]
 		s, err := NewSim(Options{Nodes: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		progs, err := workload.LoopSync(ht, iters)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for cl, p := range progs {
 			s.LoadProgram(0, 0, cl, p, true)
 		}
 		cycles, err := s.Run(int64(iters)*200 + 10000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// The interlock is correct iff every H-Thread saw every iteration:
 		// each follower's counter must equal the leader's.
 		for cl := 0; cl < ht; cl++ {
 			if got := s.Reg(0, 0, cl, 1); got != uint64(iters) {
-				return nil, fmt.Errorf("loopsync: H-Thread %d ran %d iterations, want %d", cl, got, iters)
+				return fmt.Errorf("loopsync: H-Thread %d ran %d iterations, want %d", cl, got, iters)
 			}
 		}
 
 		base, err := NewSim(Options{Nodes: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base.LoadProgram(0, 0, 0, workload.SpinLoop(iters), true)
 		bc, err := base.Run(int64(iters)*100 + 10000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, LoopSyncResult{
+		out[i] = LoopSyncResult{
 			HThreads: ht, Iters: iters, Cycles: cycles, BaselineCycles: bc,
 			PerIter:         float64(cycles) / float64(iters),
 			BaselinePerIter: float64(bc) / float64(iters),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -196,13 +210,15 @@ type VThreadResult struct {
 
 // VThreadExperiment runs the load-heavy kernel on 1..4 user V-Threads of
 // the same cluster and reports aggregate throughput: interleaving masks the
-// exposed load latency (Section 3.2).
+// exposed load latency (Section 3.2). The four machine sizes run
+// concurrently.
 func VThreadExperiment(iters int) ([]VThreadResult, error) {
-	var out []VThreadResult
-	for k := 1; k <= isa.NumUserSlots; k++ {
+	out := make([]VThreadResult, isa.NumUserSlots)
+	err := ForEachMachine(isa.NumUserSlots, func(i int) error {
+		k := i + 1
 		s, err := NewSim(Options{Nodes: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.MapLocal(0, 0, 2, true)
 		for vt := 0; vt < k; vt++ {
@@ -212,13 +228,17 @@ func VThreadExperiment(iters int) ([]VThreadResult, error) {
 		}
 		cycles, err := s.Run(int64(iters)*100*int64(k) + 10000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		total := iters * k
-		out = append(out, VThreadResult{
+		out[i] = VThreadResult{
 			VThreads: k, Cycles: cycles, TotalLoads: total,
 			LoadsPerKCycle: 1000 * float64(total) / float64(cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -390,15 +410,20 @@ func GuardedPtrExperiment(iters int) (*GuardedPtrResult, error) {
 		}
 		return s.Run(int64(iters)*50 + 10000)
 	}
-	g, err := run(true)
+	var cyc [2]int64
+	names := [2]string{"guarded", "raw"}
+	err := ForEachMachine(2, func(i int) error {
+		c, err := run(i == 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		cyc[i] = c
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("guarded: %w", err)
+		return nil, err
 	}
-	r, err := run(false)
-	if err != nil {
-		return nil, fmt.Errorf("raw: %w", err)
-	}
-	return &GuardedPtrResult{Iters: iters, GuardedCycles: g, RawCycles: r}, nil
+	return &GuardedPtrResult{Iters: iters, GuardedCycles: cyc[0], RawCycles: cyc[1]}, nil
 }
 
 // Format renders E9.
@@ -485,10 +510,11 @@ type BlockCacheResult struct {
 // motivation).
 func BlockCacheExperiment() (*BlockCacheResult, error) {
 	res := &BlockCacheResult{Words: 64}
-	for _, caching := range []bool{true, false} {
+	err := ForEachMachine(2, func(i int) error {
+		caching := i == 0
 		s, err := NewSim(Options{Nodes: 2, Caching: caching})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base := s.HomeBase(1)
 		// Stage data at the home node.
@@ -505,10 +531,10 @@ sloop:
     halt
 `, base)
 		if err := s.LoadASM(1, 0, 0, stage); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.Run(500000); err != nil {
-			return nil, err
+			return err
 		}
 		sweep := fmt.Sprintf(`
     movi i1, #%d
@@ -536,14 +562,14 @@ loop2:
     halt
 `, base, base)
 		if err := s.LoadASM(0, 0, 0, sweep); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.Run(2000000); err != nil {
-			return nil, err
+			return err
 		}
 		// Correctness: sum of 0..63 twice.
 		if got := s.Reg(0, 0, 0, 5); got != 2*(63*64/2) {
-			return nil, fmt.Errorf("blockcache sweep sum = %d, want %d", got, 2*63*64/2)
+			return fmt.Errorf("blockcache sweep sum = %d, want %d", got, 2*63*64/2)
 		}
 		p1 := int64(s.Reg(0, 0, 0, 15)) - int64(s.Reg(0, 0, 0, 14))
 		p2 := int64(s.Reg(0, 0, 0, 13)) - int64(s.Reg(0, 0, 0, 15))
@@ -552,6 +578,10 @@ loop2:
 		} else {
 			res.UncachedPass1, res.UncachedPass2 = p1, p2
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -28,17 +28,19 @@ type Figure9Result struct {
 	Total  int64
 }
 
-// Figure9 reproduces both timelines.
+// Figure9 reproduces both timelines; the two traced machines run
+// concurrently.
 func Figure9() (read, write *Figure9Result, err error) {
-	read, err = figure9One(false)
+	var res [2]*Figure9Result
+	err = ForEachMachine(2, func(i int) error {
+		r, err := figure9One(i == 1)
+		res[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	write, err = figure9One(true)
-	if err != nil {
-		return nil, nil, err
-	}
-	return read, write, nil
+	return res[0], res[1], nil
 }
 
 func figure9One(isWrite bool) (*Figure9Result, error) {

@@ -8,18 +8,19 @@ package core
 // local accesses in the interior and transparent remote accesses for the
 // halo elements at chunk boundaries. Scaling the node count shrinks each
 // node's chunk while the flat shared address space keeps the program
-// unchanged except for its loop bounds.
+// unchanged except for its loop bounds. The program generators live in
+// internal/workload (MeshSmooth), shared with the large-mesh scaling
+// experiment, the parallel-engine benchmarks, and examples/bigmesh.
 
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/noc"
+	"repro/internal/workload"
 )
 
-const (
-	gridTotal   = 512  // grid elements
-	gridUOffset = 512  // u chunk offset within a node's home range
-	gridVOffset = 2048 // v chunk offset within a node's home range
-)
+const gridTotal = 512 // grid elements of the small-machine experiment
 
 // GridScaleRow reports one machine size.
 type GridScaleRow struct {
@@ -31,113 +32,53 @@ type GridScaleRow struct {
 // GridSmoothExperiment runs the distributed smoothing pass on 1-, 2- and
 // 4-node machines and checks the result against a host-computed reference.
 func GridSmoothExperiment() ([]GridScaleRow, error) {
-	// Reference on the host.
-	u := make([]uint64, gridTotal)
-	for j := range u {
-		u[j] = uint64(j%17 + 1)
-	}
-	want := make([]uint64, gridTotal)
-	for j := 1; j < gridTotal-1; j++ {
-		want[j] = u[j-1] + u[j] + u[j+1]
-	}
-
-	var rows []GridScaleRow
-	var base int64
-	for _, nodes := range []int{1, 2, 4} {
-		cycles, err := runGridSmooth(nodes, u, want)
+	// The three machine sizes are independent machines: measure them
+	// concurrently, then derive the speedup column from the 1-node base.
+	sizes := []int{1, 2, 4}
+	rows := make([]GridScaleRow, len(sizes))
+	err := ForEachMachine(len(sizes), func(i int) error {
+		g, err := workload.NewMeshSmooth(sizes[i], gridTotal)
 		if err != nil {
-			return nil, fmt.Errorf("grid smooth on %d nodes: %w", nodes, err)
+			return err
 		}
-		if nodes == 1 {
-			base = cycles
+		cycles, err := runMeshSmooth(Options{Nodes: sizes[i]}, g)
+		if err != nil {
+			return fmt.Errorf("grid smooth on %d nodes: %w", sizes[i], err)
 		}
-		rows = append(rows, GridScaleRow{
-			Nodes: nodes, Cycles: cycles,
-			Speedup: float64(base) / float64(cycles),
-		})
+		rows[i] = GridScaleRow{Nodes: sizes[i], Cycles: cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rows[0].Cycles
+	for i := range rows {
+		rows[i].Speedup = float64(base) / float64(rows[i].Cycles)
 	}
 	return rows, nil
 }
 
-func runGridSmooth(nodes int, u, want []uint64) (int64, error) {
-	s, err := NewSim(Options{Nodes: nodes})
+// runMeshSmooth boots a machine with the given options, stages the grid,
+// runs the smoothing pass, and verifies every output element against the
+// host-computed reference. It returns the cycles of the smoothing run.
+func runMeshSmooth(o Options, g *workload.MeshSmooth) (int64, error) {
+	s, err := NewSim(o)
 	if err != nil {
 		return 0, err
 	}
-	chunk := gridTotal / nodes
-	uAddr := func(j int) uint64 { return s.HomeBase(j/chunk) + gridUOffset + uint64(j%chunk) }
-	vAddr := func(j int) uint64 { return s.HomeBase(j/chunk) + gridVOffset + uint64(j%chunk) }
-
-	// Stage u at each owner by first touch.
-	for n := 0; n < nodes; n++ {
-		var b strings.Builder
-		fmt.Fprintf(&b, "    movi i1, #%d\n", uAddr(n*chunk))
-		for j := n * chunk; j < (n+1)*chunk; j++ {
-			fmt.Fprintf(&b, "    movi i2, #%d\n    st [i1+%d], i2\n", u[j], j-n*chunk)
-		}
-		// First-touch the v page too so workers store locally.
-		fmt.Fprintf(&b, "    movi i1, #%d\n    movi i2, #0\n    st [i1], i2\n", vAddr(n*chunk))
-		b.WriteString("    halt\n")
-		if err := s.LoadASM(n, 3, 3, b.String()); err != nil {
+	if n := s.M.NumNodes(); n != g.Nodes {
+		return 0, fmt.Errorf("mesh smooth: %d-node workload on %d-node machine", g.Nodes, n)
+	}
+	for n := 0; n < g.Nodes; n++ {
+		if err := s.LoadASM(n, 3, 3, g.StageSrc(n, s.HomeBase)); err != nil {
 			return 0, err
 		}
 	}
 	if _, err := s.Run(5_000_000); err != nil {
 		return 0, err
 	}
-
-	// Workers: interior sweep plus explicit boundary elements whose halo
-	// neighbours may live on another node.
-	for n := 0; n < nodes; n++ {
-		lo, hi := n*chunk, (n+1)*chunk // global [lo, hi)
-		if lo == 0 {
-			lo = 1 // global boundary clamp
-		}
-		if hi == gridTotal {
-			hi = gridTotal - 1
-		}
-		var b strings.Builder
-		// Interior: j in [n*chunk+1, (n+1)*chunk-1) — all three u accesses
-		// are in this node's chunk.
-		intLo, intHi := n*chunk+1, (n+1)*chunk-1
-		fmt.Fprintf(&b, `
-    movi i1, #%d            ; &u[intLo-1]
-    movi i2, #%d            ; &v[intLo]
-    movi i3, #0
-    movi i4, #%d            ; interior count
-loop:
-    ld i5, [i1]
-    ld i6, [i1+1]
-    ld i7, [i1+2]
-    add i8, i5, i6
-    add i8, i8, i7
-    st [i2], i8
-    add i1, i1, #1
-    add i2, i2, #1
-    add i3, i3, #1
-    lt i9, i3, i4
-    brt i9, loop
-`, uAddr(intLo-1), vAddr(intLo), intHi-intLo)
-		// Boundary elements (halo reads may be remote).
-		for _, j := range []int{n * chunk, (n+1)*chunk - 1} {
-			if j < lo || j >= hi || (j > n*chunk && j < (n+1)*chunk-1) {
-				continue
-			}
-			fmt.Fprintf(&b, `
-    movi i1, #%d
-    ld i5, [i1]
-    movi i1, #%d
-    ld i6, [i1]
-    movi i1, #%d
-    ld i7, [i1]
-    add i8, i5, i6
-    add i8, i8, i7
-    movi i1, #%d
-    st [i1], i8
-`, uAddr(j-1), uAddr(j), uAddr(j+1), vAddr(j))
-		}
-		b.WriteString("    halt\n")
-		if err := s.LoadASM(n, 0, 0, b.String()); err != nil {
+	for n := 0; n < g.Nodes; n++ {
+		if err := s.LoadASM(n, 0, 0, g.WorkerSrc(n, s.HomeBase)); err != nil {
 			return 0, err
 		}
 	}
@@ -145,14 +86,13 @@ loop:
 	if err != nil {
 		return 0, err
 	}
-	// Verify the full v array.
-	for j := 1; j < gridTotal-1; j++ {
-		got, err := s.Peek(j/chunk, vAddr(j))
+	for j := 1; j < g.Total()-1; j++ {
+		got, err := s.Peek(j/g.Chunk, g.VAddr(s.HomeBase, j))
 		if err != nil {
 			return 0, fmt.Errorf("v[%d]: %w", j, err)
 		}
-		if got != want[j] {
-			return 0, fmt.Errorf("v[%d] = %d, want %d", j, got, want[j])
+		if got != g.Want(j) {
+			return 0, fmt.Errorf("v[%d] = %d, want %d", j, got, g.Want(j))
 		}
 	}
 	return cycles, nil
@@ -165,6 +105,69 @@ func FormatGridSmooth(rows []GridScaleRow) string {
 	fmt.Fprintf(&b, "%-6s %10s %9s\n", "nodes", "cycles", "speedup")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-6d %10d %8.2fx\n", r.Nodes, r.Cycles, r.Speedup)
+	}
+	return b.String()
+}
+
+// --- E14 (extension): large-mesh scaling under the parallel engine ---
+
+// MeshScaleRow reports one large-mesh configuration.
+type MeshScaleRow struct {
+	Dims    noc.Coord
+	Nodes   int
+	Cycles  int64
+	Speedup float64 // vs the smallest configuration's cycles
+}
+
+// MeshScaleExperiment runs the smoothing pass over a fixed 2048-element
+// grid on progressively larger 3-D meshes — up to the 4x4x2 and 8x8x2
+// configurations the parallel engine targets — under the parallel chip
+// engine (Workers: -1; on a single-core host this degrades to the serial
+// engine with identical results). Simulated cycle counts are
+// host-independent; the point of the sweep is that larger meshes finish
+// the same grid in fewer simulated cycles while the parallel engine keeps
+// host wall-clock per configuration roughly flat.
+func MeshScaleExperiment() ([]MeshScaleRow, error) {
+	const total = 2048
+	dims := []noc.Coord{
+		{X: 2, Y: 1, Z: 1},
+		{X: 4, Y: 2, Z: 1},
+		{X: 4, Y: 4, Z: 2},
+		{X: 8, Y: 8, Z: 2},
+	}
+	rows := make([]MeshScaleRow, len(dims))
+	err := ForEachMachine(len(dims), func(i int) error {
+		d := dims[i]
+		nodes := d.X * d.Y * d.Z
+		g, err := workload.NewMeshSmooth(nodes, total)
+		if err != nil {
+			return err
+		}
+		cycles, err := runMeshSmooth(Options{Dims: d, Workers: -1}, g)
+		if err != nil {
+			return fmt.Errorf("mesh smooth on %v: %w", d, err)
+		}
+		rows[i] = MeshScaleRow{Dims: d, Nodes: nodes, Cycles: cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rows[0].Cycles
+	for i := range rows {
+		rows[i].Speedup = float64(base) / float64(rows[i].Cycles)
+	}
+	return rows, nil
+}
+
+// FormatMeshScale renders the large-mesh scaling table.
+func FormatMeshScale(rows []MeshScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "2048-element grid smoothing on 3-D meshes (parallel chip engine)\n")
+	fmt.Fprintf(&b, "%-8s %6s %10s %9s\n", "mesh", "nodes", "cycles", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%dx%dx%d   %6d %10d %8.2fx\n",
+			r.Dims.X, r.Dims.Y, r.Dims.Z, r.Nodes, r.Cycles, r.Speedup)
 	}
 	return b.String()
 }

@@ -18,13 +18,16 @@ type NetSweepRow struct {
 }
 
 // NetworkSweepExperiment measures remote read latency from node 0 to homes
-// at increasing distances on an 8x1x1 mesh.
+// at increasing distances on an 8x1x1 mesh; the distance points run on
+// independent machines, concurrently.
 func NetworkSweepExperiment() ([]NetSweepRow, error) {
-	var out []NetSweepRow
-	for d := 1; d <= 7; d += 2 {
+	dists := []int{1, 3, 5, 7}
+	out := make([]NetSweepRow, len(dists))
+	err := ForEachMachine(len(dists), func(i int) error {
+		d := dists[i]
 		s, err := NewSim(Options{Nodes: 8})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addr := s.HomeBase(d) + 16
 		// Stage the value and warm the home node's cache and LTLB.
@@ -37,16 +40,20 @@ func NetworkSweepExperiment() ([]NetSweepRow, error) {
     halt
 `, addr)
 		if err := s.LoadASM(d, 0, 0, stage); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.Run(200000); err != nil {
-			return nil, err
+			return err
 		}
 		lat, err := timeRead(s, addr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, NetSweepRow{Hops: d, ReadCycles: lat})
+		out[i] = NetSweepRow{Hops: d, ReadCycles: lat}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

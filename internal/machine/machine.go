@@ -5,6 +5,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/chip"
 	"repro/internal/cluster"
@@ -22,6 +23,15 @@ const NoEvent = chip.NoEvent
 type Config struct {
 	Dims noc.Coord // mesh dimensions
 	Chip chip.Config
+
+	// Workers selects the parallel chip engine: the chip phase of each busy
+	// cycle is sharded across this many persistent worker goroutines with a
+	// barrier per cycle (see DESIGN.md, "The parallel engine"). 0 or 1 runs
+	// the chip phase serially; -1 uses runtime.GOMAXPROCS(0); values above
+	// the node count are clamped. The parallel engine is bit-identical to
+	// the serial event engine (enforced by TestDeterminismThreeWay in core)
+	// and is ignored under the naive reference engine and by RunUntil.
+	Workers int
 }
 
 // DefaultConfig returns a 2x1x1 machine (the two-node setup of the paper's
@@ -50,6 +60,11 @@ type Machine struct {
 	// nextPPN allocates physical pages per node for MapLocal; runtime
 	// handlers allocate from a separate high region (see AllocBase).
 	nextPPN []uint64
+
+	// workers is the normalized Config.Workers (>= 2 means the parallel
+	// chip engine is active); pool is its lazily started goroutine pool.
+	workers int
+	pool    *chipPool
 }
 
 // Reserved physical layout (words). The LPT base comes from the memory
@@ -85,14 +100,34 @@ func New(cfg Config) *Machine {
 		Chips:   make([]*chip.Chip, net.NumNodes()),
 		nextPPN: make([]uint64, net.NumNodes()),
 	}
+	m.workers = cfg.Workers
+	if m.workers < 0 {
+		m.workers = runtime.GOMAXPROCS(0)
+	}
+	if m.workers > len(m.Chips) {
+		m.workers = len(m.Chips)
+	}
 	for i := range m.Chips {
 		c := chip.New(cfg.Chip, net.CoordOf(i), i, net, gdt)
 		// Initialize the runtime page allocator counter.
 		c.Mem.SDRAM.Write(AllocCounterAddr(cfg.Chip.Mem), AllocBasePPN(cfg.Chip.Mem), false)
+		// Under the parallel engine trace events are buffered per chip and
+		// flushed in node order so the shared callback never runs
+		// concurrently (and the stream order matches the serial engines).
+		c.BufferTrace = m.workers >= 2
 		m.Chips[i] = c
 		m.nextPPN[i] = FirstMapPPN
 	}
 	return m
+}
+
+// Close stops the parallel engine's worker goroutines, if any were started.
+// It is optional: an unreachable Machine releases them via a GC cleanup.
+// The machine must not be stepped after Close.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.stop()
+	}
 }
 
 // NumNodes returns the node count.
@@ -108,6 +143,7 @@ func (m *Machine) StepAll() {
 	for _, c := range m.Chips {
 		c.Step(m.Cycle)
 	}
+	m.drainChipOutput(m.Cycle)
 	m.Net.Step(m.Cycle)
 	m.Cycle++
 }
@@ -115,20 +151,38 @@ func (m *Machine) StepAll() {
 // Step advances the whole machine one cycle. The event-driven engine steps
 // only the chips whose NextEvent is due; a skipped chip replays its idle
 // stat side effects via SkipCycles, so observable state evolves exactly as
-// under StepAll. The network walk runs only when a message can move.
-func (m *Machine) Step() {
+// under StepAll. The network walk runs only when a message can move. With
+// Config.Workers >= 2 the chip phase runs sharded on the worker pool.
+func (m *Machine) Step() { m.step(m.workers >= 2) }
+
+// step is Step with an explicit engine choice for the chip phase; RunUntil
+// forces the serial phase so tight per-cycle predicate loops don't pay the
+// parallel barrier.
+func (m *Machine) step(parallel bool) {
 	if m.Naive {
 		m.StepAll()
 		return
 	}
 	now := m.Cycle
-	for _, c := range m.Chips {
-		if c.NextEvent(now) <= now {
-			c.Step(now)
-		} else {
-			c.SkipCycles(1)
+	if parallel {
+		if m.pool == nil {
+			m.pool = newChipPool(m.Chips, m.workers)
+			// Backstop for machines that are never Closed (the experiment
+			// harnesses build thousands): release the workers when the
+			// machine becomes unreachable. The cleanup must not capture m.
+			runtime.AddCleanup(m, func(p *chipPool) { p.stop() }, m.pool)
+		}
+		m.pool.step(now)
+	} else {
+		for _, c := range m.Chips {
+			if c.NextEvent(now) <= now {
+				c.Step(now)
+			} else {
+				c.SkipCycles(1)
+			}
 		}
 	}
+	m.drainChipOutput(now)
 	if m.Net.NeedsStep(now) {
 		m.Net.Step(now)
 	}
@@ -140,6 +194,20 @@ func (m *Machine) Step() {
 		}
 	}
 	m.Cycle++
+}
+
+// drainChipOutput moves every chip's buffered cycle output into the shared
+// structures, in node-index order: trace events to the callback, outbox
+// messages into the network. A chip cannot observe another chip's
+// same-cycle injections, so draining after the chip phase is bit-identical
+// to the historical inject-during-step order — and it is the only point
+// where per-chip work touches shared mutable state, which is what makes
+// the parallel chip phase safe.
+func (m *Machine) drainChipOutput(now int64) {
+	for _, c := range m.Chips {
+		c.FlushTrace()
+		c.FlushNet(now)
+	}
 }
 
 // NextEvent reports the earliest cycle >= now at which any component of the
@@ -297,7 +365,9 @@ func (m *Machine) WakeAll() {
 // advances cycle-by-cycle here (components are still skipped when idle,
 // but the clock is not fast-forwarded), so an arbitrary predicate — even
 // one reading Machine.Cycle — observes exactly the per-cycle sequence the
-// naive loop produces.
+// naive loop produces. The chip phase always runs serially here, even on
+// a parallel-configured machine: with no fast-forward amortizing it, the
+// per-cycle barrier would dominate, and the result is identical anyway.
 func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
 	m.WakeAll()
 	start := m.Cycle
@@ -305,7 +375,7 @@ func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
 		if pred() {
 			return m.Cycle - start, nil
 		}
-		m.Step()
+		m.step(false)
 	}
 	return m.Cycle - start, fmt.Errorf("machine: condition not met within %d cycles", maxCycles)
 }

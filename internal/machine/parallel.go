@@ -1,0 +1,90 @@
+package machine
+
+// The parallel chip engine: the chip phase of each busy cycle is sharded
+// across a persistent pool of worker goroutines with one barrier per cycle.
+//
+// Chips are independent within a cycle — Chip.Step reads and writes only
+// per-chip state plus two shared read-only structures (the GDT and loaded
+// programs) and its own node's arrival queues — because the one shared
+// *write* path, network injection, goes through the per-chip outbox that
+// the machine drains serially after the barrier (see DESIGN.md, "The
+// parallel engine"). Idle cycles never reach the pool: Machine.Run
+// fast-forwards them, so the barrier cost is paid only on cycles where
+// some chip actually works.
+
+import (
+	"sync"
+
+	"repro/internal/chip"
+)
+
+// chipPool is the persistent worker pool. Each worker owns a fixed,
+// contiguous shard of the chip slice; per cycle it receives the cycle
+// number on its start channel, steps its shard, and signals the barrier.
+type chipPool struct {
+	starts   []chan int64
+	wg       sync.WaitGroup
+	quit     chan struct{}
+	stopOnce sync.Once
+}
+
+// newChipPool starts min(workers, len(chips)) workers over contiguous
+// shards of near-equal size. The goroutines persist until stop.
+func newChipPool(chips []*chip.Chip, workers int) *chipPool {
+	p := &chipPool{quit: make(chan struct{})}
+	n := len(chips)
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		start := make(chan int64, 1)
+		p.starts = append(p.starts, start)
+		go p.worker(chips[lo:hi], start)
+	}
+	return p
+}
+
+func (p *chipPool) worker(shard []*chip.Chip, start chan int64) {
+	for {
+		select {
+		case now := <-start:
+			stepShard(shard, now)
+			p.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// stepShard advances each chip of the shard by one cycle: due chips step,
+// idle chips replay their per-cycle stall bookkeeping — exactly the
+// per-chip dispatch of the serial event engine, on goroutine-private state.
+func stepShard(shard []*chip.Chip, now int64) {
+	for _, c := range shard {
+		if c.NextEvent(now) <= now {
+			c.Step(now)
+		} else {
+			c.SkipCycles(1)
+		}
+	}
+}
+
+// step runs one parallel chip phase: release every worker for cycle now,
+// then barrier until all shards finish. On return every chip has advanced
+// to now+1 and its outbox/trace buffers hold the cycle's output.
+func (p *chipPool) step(now int64) {
+	p.wg.Add(len(p.starts))
+	for _, start := range p.starts {
+		start <- now
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers. Idempotent; safe after any number of steps.
+func (p *chipPool) stop() {
+	p.stopOnce.Do(func() { close(p.quit) })
+}

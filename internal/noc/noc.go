@@ -15,6 +15,7 @@ package noc
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -116,8 +117,12 @@ type Network struct {
 	linkBusy []int64
 	// arrivals holds delivered messages per node per priority until the
 	// node's network input interface consumes them, indexed by node id.
-	arrivals     [][NumPriorities]msgQueue
-	arrivalCount int // total undelivered-to-chip messages across all nodes
+	arrivals [][NumPriorities]msgQueue
+	// arrivalCount totals undelivered-to-chip messages across all nodes.
+	// It is atomic because Pop runs concurrently under the parallel chip
+	// engine (each chip pops only its own node's queues, so the queues
+	// themselves are unshared; this counter is the one cross-node write).
+	arrivalCount atomic.Int64
 
 	// nextWake caches the earliest readyAt among in-flight messages,
 	// recomputed by Step and lowered by Inject (the NextEvent source).
@@ -225,7 +230,7 @@ func (n *Network) Step(now int64) {
 			if f.at == f.msg.Dst {
 				// Delivery into the node's hardware message queue.
 				n.arrivals[n.Index(f.at)][pri].push(f.msg)
-				n.arrivalCount++
+				n.arrivalCount.Add(1)
 				f.msg.DeliveredAt = now
 				n.Delivered++
 				continue
@@ -267,7 +272,7 @@ func (n *Network) Step(now int64) {
 // delivered messages await consumption by a node. NoEvent means the network
 // is empty and will not act until the next Inject.
 func (n *Network) NextEvent(now int64) int64 {
-	if n.arrivalCount > 0 {
+	if n.arrivalCount.Load() > 0 {
 		return now
 	}
 	if n.nextWake < now {
@@ -317,7 +322,7 @@ func (n *Network) Pop(c Coord, pri int) *Message {
 	if q.len() == 0 {
 		return nil
 	}
-	n.arrivalCount--
+	n.arrivalCount.Add(-1)
 	return q.pop()
 }
 
@@ -337,7 +342,7 @@ func (n *Network) InFlight() int { return len(n.flight[0]) + len(n.flight[1]) }
 
 // Quiescent reports whether no messages are in flight or waiting anywhere.
 func (n *Network) Quiescent() bool {
-	return n.InFlight() == 0 && n.arrivalCount == 0
+	return n.InFlight() == 0 && n.arrivalCount.Load() == 0
 }
 
 // Distance returns the Manhattan hop count between two nodes.

@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/isa"
 )
 
@@ -206,5 +207,62 @@ func TestStencilAddressConstants(t *testing.T) {
 	// covers the kernel's data.
 	if s.RBase+27 >= 512 || s.UAddr >= 512 {
 		t.Error("stencil data does not fit page 0")
+	}
+}
+
+func TestMeshSmoothGenerator(t *testing.T) {
+	g, err := NewMeshSmooth(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Chunk != 32 || g.Total() != 256 {
+		t.Fatalf("chunk=%d total=%d", g.Chunk, g.Total())
+	}
+	// Host reference math.
+	if g.U(0) != 1 || g.U(17) != 1 || g.U(16) != 17 {
+		t.Errorf("U: %d %d %d", g.U(0), g.U(17), g.U(16))
+	}
+	if g.Want(0) != 0 || g.Want(255) != 0 {
+		t.Error("boundary elements must not be written")
+	}
+	if want := g.U(4) + g.U(5) + g.U(6); g.Want(5) != want {
+		t.Errorf("Want(5) = %d, want %d", g.Want(5), want)
+	}
+	// Every generated program must assemble, for every node position
+	// (interior, global-boundary, and chunk-boundary cases differ).
+	home := func(n int) uint64 { return uint64(n) * 4096 }
+	for n := 0; n < g.Nodes; n++ {
+		if _, err := asm.Assemble("stage", g.StageSrc(n, home)); err != nil {
+			t.Fatalf("node %d stage: %v", n, err)
+		}
+		if _, err := asm.Assemble("worker", g.WorkerSrc(n, home)); err != nil {
+			t.Fatalf("node %d worker: %v", n, err)
+		}
+	}
+}
+
+func TestMeshSmoothValidation(t *testing.T) {
+	if _, err := NewMeshSmooth(3, 256); err == nil {
+		t.Error("uneven division should fail")
+	}
+	if _, err := NewMeshSmooth(1, 2048); err == nil {
+		t.Error("chunk above MeshMaxChunk should fail")
+	}
+	if _, err := NewMeshSmooth(256, 256); err == nil {
+		t.Error("chunk below 2 should fail")
+	}
+}
+
+func TestNeighborExchangeGenerator(t *testing.T) {
+	home := func(n int) uint64 { return uint64(n) * 4096 }
+	for _, n := range []int{0, 3} {
+		src := NeighborExchangeSrc(n, 4, 8, 42, home)
+		if _, err := asm.Assemble("exchange", src); err != nil {
+			t.Fatalf("node %d: %v", n, err)
+		}
+	}
+	// Node 3 wraps to node 0's mailbox.
+	if got := NeighborExchangeAddr(home, 0, 5); got != MeshMailbox+5 {
+		t.Errorf("addr = %d", got)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the binary was built with -race, so
+// wall-clock assertions can skip under its instrumentation.
+const raceEnabled = true
