@@ -1,15 +1,18 @@
 # Build/verify entry points. `make ci` is the tier-1 gate plus a race pass
 # over the parallel engine (short mode: the full experiment determinism
-# matrix is too slow under the race detector's instrumentation) and a
+# matrix is too slow under the race detector's instrumentation), a
 # one-shot benchmark smoke pass (every benchmark runs once, so a panicking
 # or regressed-to-failure benchmark breaks CI without paying for
-# measurement).
+# measurement), and a benchdiff over the two most recent BENCH_<n>.json
+# records (any metric delta or disappearance between records is a
+# determinism break, which fails; wall time is advisory only, compared
+# under a tolerance).
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup bench-smoke bench
+.PHONY: ci build vet test race speedup bench-smoke bench benchdiff
 
-ci: build vet test race speedup bench-smoke
+ci: build vet test race speedup bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -31,6 +34,23 @@ speedup:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Compare the two newest checked-in bench records (numeric sort on the
+# record index); skips quietly when fewer than two exist. Wall time is
+# advisory by construction — without -strict-wall, benchdiff can only fail
+# on metric deltas between checked-in records, which are genuine
+# determinism breaks (host noise cannot produce them), so those do fail
+# the gate. A PR that deliberately changes simulated behavior must
+# regenerate the older record or own the red diff.
+benchdiff:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); \
+	if [ $$# -lt 2 ]; then \
+		echo "benchdiff: fewer than two BENCH_*.json records, nothing to compare"; \
+	else \
+		shift $$(($$# - 2)); \
+		echo "$(GO) run ./cmd/benchdiff -tol 2.0 $$1 $$2"; \
+		$(GO) run ./cmd/benchdiff -tol 2.0 $$1 $$2; \
+	fi
 
 # Full measurement run (slow): allocation stats included.
 bench:

@@ -1,0 +1,149 @@
+// Command benchdiff compares two mbench -json records (BENCH_<n>.json, the
+// per-PR performance trajectory) and flags two kinds of drift:
+//
+//   - Metric deltas. Every metric mbench records is a simulated result
+//     (cycle counts and derived figures), so any change between records is
+//     a determinism break — the engines are contractually bit-identical
+//     across versions unless a PR deliberately changes simulated behavior.
+//     These fail the comparison (exit 1) unless -advisory is set.
+//
+//   - Wall-time regressions. Each experiment's wall_ns is compared under a
+//     multiplicative tolerance (-tol) that absorbs host noise; regressions
+//     beyond it are reported. Wall time is advisory by default (records
+//     may come from different hosts); -strict-wall makes it fail too.
+//
+// Usage:
+//
+//	benchdiff [-tol 1.5] [-advisory] [-strict-wall] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// metric mirrors mbench's Metric.
+type metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// result mirrors mbench's Result.
+type result struct {
+	Name    string   `json:"name"`
+	Title   string   `json:"title"`
+	WallNs  int64    `json:"wall_ns"`
+	Metrics []metric `json:"metrics,omitempty"`
+}
+
+// report mirrors mbench's top-level -json document.
+type report struct {
+	Schema     string   `json:"schema"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "mbench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q (want mbench/v1)", path, r.Schema)
+	}
+	return &r, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 1.5, "wall-time regression tolerance (new/old ratio)")
+	advisory := flag.Bool("advisory", false, "always exit 0, even on metric deltas")
+	strictWall := flag.Bool("strict-wall", false, "treat wall-time regressions beyond -tol as failures")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-advisory] [-strict-wall] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]*result, len(oldRep.Results))
+	for i := range oldRep.Results {
+		oldBy[oldRep.Results[i].Name] = &oldRep.Results[i]
+	}
+
+	var breaks, wallRegs, compared int
+	seen := make(map[string]bool)
+	for i := range newRep.Results {
+		nr := &newRep.Results[i]
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("NEW        %-12s (no baseline)\n", nr.Name)
+			continue
+		}
+		compared++
+		oldM := make(map[string]metric, len(or.Metrics))
+		for _, m := range or.Metrics {
+			oldM[m.Name] = m
+		}
+		for _, m := range nr.Metrics {
+			om, ok := oldM[m.Name]
+			if !ok {
+				fmt.Printf("NEW METRIC %-12s %s\n", nr.Name, m.Name)
+				continue
+			}
+			delete(oldM, m.Name)
+			if om.Value != m.Value {
+				breaks++
+				fmt.Printf("BREAK      %-12s %-28s %v -> %v %s (determinism: simulated results must not drift)\n",
+					nr.Name, m.Name, om.Value, m.Value, m.Unit)
+			}
+		}
+		// A metric that vanished is as much a break as one that drifted:
+		// a silently dropped result must not evade the determinism gate.
+		for name := range oldM {
+			breaks++
+			fmt.Printf("BREAK      %-12s %-28s missing from new record\n", nr.Name, name)
+		}
+		ratio := float64(nr.WallNs) / float64(or.WallNs)
+		switch {
+		case ratio > *tol:
+			wallRegs++
+			fmt.Printf("SLOWER     %-12s wall %.2fx (%.1fms -> %.1fms, tol %.2fx)\n",
+				nr.Name, ratio, float64(or.WallNs)/1e6, float64(nr.WallNs)/1e6, *tol)
+		case ratio < 1 / *tol:
+			fmt.Printf("faster     %-12s wall %.2fx (%.1fms -> %.1fms)\n",
+				nr.Name, ratio, float64(or.WallNs)/1e6, float64(nr.WallNs)/1e6)
+		}
+	}
+	for name := range oldBy {
+		if !seen[name] {
+			breaks++
+			fmt.Printf("BREAK      %-12s experiment dropped (present in old record only)\n", name)
+		}
+	}
+
+	fmt.Printf("benchdiff: %d experiments compared, %d metric breaks, %d wall regressions beyond %.2fx\n",
+		compared, breaks, wallRegs, *tol)
+	if *advisory {
+		return
+	}
+	if breaks > 0 || (*strictWall && wallRegs > 0) {
+		os.Exit(1)
+	}
+}

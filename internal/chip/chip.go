@@ -190,8 +190,12 @@ type Chip struct {
 	// each Step; idleStalled and idleSendsBlocked record the per-cycle stat
 	// side effects of an idle issue scan so SkipCycles can replay them
 	// without stepping, keeping skipped runs bit-identical to the naive
-	// per-cycle loop.
+	// per-cycle loop. onWake, if set, observes every external lowering of
+	// the wake cycle (WakeAt, Touch, LoadProgram) — the parallel engine's
+	// due-set hook (see DESIGN.md, "Active-set scheduling"). It fires only
+	// from the machine's serial phases, never from inside Step.
 	wake             int64
+	onWake           func(at int64)
 	idleStalled      []*cluster.HThread
 	idleSendsBlocked uint64
 
@@ -244,13 +248,26 @@ func New(cfg Config, node noc.Coord, index int, net *noc.Network, gdt *gtlb.Tabl
 // chip: a sleeping event engine must rescan for issuable instructions.
 func (c *Chip) LoadProgram(vthread, cl int, p *isa.Program, privileged bool) {
 	c.Clusters[cl].Threads[vthread].Load(p, privileged)
-	c.wake = 0
+	c.Touch()
 }
 
 // Touch resets the chip's event-engine wake cycle. Callers that mutate
 // architectural state from outside the simulation (register pokes, queue
 // pushes in tests) must Touch the chip so a sleeping engine rescans it.
-func (c *Chip) Touch() { c.wake = 0 }
+func (c *Chip) Touch() {
+	c.wake = 0
+	if c.onWake != nil {
+		c.onWake(0)
+	}
+}
+
+// SetWakeHook installs fn to observe every external lowering of the chip's
+// wake cycle (WakeAt, Touch, LoadProgram). The parallel engine uses it to
+// re-enter the chip into its shard's due-set; the hook must therefore never
+// report a cycle later than the chip's true wake. All call sites run on the
+// machine goroutine between chip phases, so fn needs no synchronization
+// beyond the engine's own barriers. nil uninstalls.
+func (c *Chip) SetWakeHook(fn func(at int64)) { c.onWake = fn }
 
 // RegisterDIP marks a dispatch instruction pointer as legal for user SENDs.
 func (c *Chip) RegisterDIP(dip uint64) { c.validDIPs[dip] = true }
@@ -396,6 +413,9 @@ func (c *Chip) NextEvent(now int64) int64 {
 func (c *Chip) WakeAt(at int64) {
 	if at < c.wake {
 		c.wake = at
+		if c.onWake != nil {
+			c.onWake(at)
+		}
 	}
 }
 

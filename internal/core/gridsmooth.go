@@ -123,7 +123,10 @@ type MeshScaleRow struct {
 // grid on progressively larger 3-D meshes — up to the 4x4x2 and 8x8x2
 // configurations the parallel engine targets — under the parallel chip
 // engine (Workers: -1; on a single-core host this degrades to the serial
-// engine with identical results). Simulated cycle counts are
+// engine with identical results). Larger meshes also mean a smaller busy
+// fraction per cycle (the fixed grid spreads thinner), which is the mix
+// the engine's active-set scheduling and shard rebalancing are for (see
+// DESIGN.md, "Active-set scheduling"). Simulated cycle counts are
 // host-independent; the point of the sweep is that larger meshes finish
 // the same grid in fewer simulated cycles while the parallel engine keeps
 // host wall-clock per configuration roughly flat.

@@ -32,6 +32,14 @@ type Config struct {
 	// the serial event engine (enforced by TestDeterminismThreeWay in core)
 	// and is ignored under the naive reference engine and by RunUntil.
 	Workers int
+
+	// RebalanceEvery is the parallel engine's shard-rebalance window, in
+	// dispatched busy cycles: after each window the pool re-draws shard
+	// boundaries when the observed per-shard work is imbalanced (see
+	// DESIGN.md, "Active-set scheduling"). 0 selects the default window;
+	// negative disables rebalancing. Rebalancing never affects simulated
+	// results — only which worker steps which chip.
+	RebalanceEvery int64
 }
 
 // DefaultConfig returns a 2x1x1 machine (the two-node setup of the paper's
@@ -62,9 +70,19 @@ type Machine struct {
 	nextPPN []uint64
 
 	// workers is the normalized Config.Workers (>= 2 means the parallel
-	// chip engine is active); pool is its lazily started goroutine pool.
+	// chip engine is active); pool is its lazily started goroutine pool,
+	// and closed records Close so a later Step cannot resurrect it.
 	workers int
 	pool    *chipPool
+	closed  bool
+
+	// arrivalNodes tracks the nodes with delivered-but-unconsumed network
+	// messages (arrivalMark is its membership bitmap), maintained
+	// incrementally from noc.Network.DeliveredNodes so per-cycle arrival
+	// wake-ups cost O(affected nodes), not O(nodes). Used by the event
+	// engines only; the naive loop steps everything anyway.
+	arrivalNodes []int
+	arrivalMark  []bool
 }
 
 // Reserved physical layout (words). The LPT base comes from the memory
@@ -94,11 +112,12 @@ func New(cfg Config) *Machine {
 	net := noc.New(cfg.Dims, cfg.Chip.Net)
 	gdt := &gtlb.Table{}
 	m := &Machine{
-		Cfg:     cfg,
-		Net:     net,
-		GDT:     gdt,
-		Chips:   make([]*chip.Chip, net.NumNodes()),
-		nextPPN: make([]uint64, net.NumNodes()),
+		Cfg:         cfg,
+		Net:         net,
+		GDT:         gdt,
+		Chips:       make([]*chip.Chip, net.NumNodes()),
+		nextPPN:     make([]uint64, net.NumNodes()),
+		arrivalMark: make([]bool, net.NumNodes()),
 	}
 	m.workers = cfg.Workers
 	if m.workers < 0 {
@@ -121,11 +140,15 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Close stops the parallel engine's worker goroutines, if any were started.
-// It is optional: an unreachable Machine releases them via a GC cleanup.
-// The machine must not be stepped after Close.
+// Close stops the parallel engine's worker goroutines, if any were started,
+// after materializing any deferred idle-chip bookkeeping (see step). It is
+// optional: an unreachable Machine releases the workers via a GC cleanup.
+// The machine must not be stepped after Close — the parallel chip phase
+// panics if it is.
 func (m *Machine) Close() {
+	m.closed = true
 	if m.pool != nil {
+		m.pool.sync(m.Cycle)
 		m.pool.stop()
 	}
 }
@@ -138,13 +161,30 @@ func (m *Machine) Chip(i int) *chip.Chip { return m.Chips[i] }
 
 // StepAll advances the whole machine one cycle the naive way: every chip
 // and the network step unconditionally. This is the reference (debug)
-// engine the event-driven Step is validated against.
+// engine the event-driven Step is validated against. When a parallel pool
+// is alive (the engines may be interleaved on one machine), StepAll also
+// keeps the event-engine caches honest: a forced Step can lower a chip's
+// wake internally (e.g. by consuming a delivered message) without firing
+// the wake hook, so every chip is re-marked due for the next cycle — the
+// safe, possibly-early direction of the due-cache invariant — and the
+// tracked arrival set ingests this cycle's deliveries.
 func (m *Machine) StepAll() {
-	for _, c := range m.Chips {
-		c.Step(m.Cycle)
+	now := m.Cycle
+	if m.pool != nil {
+		m.pool.sync(now)
 	}
-	m.drainChipOutput(m.Cycle)
-	m.Net.Step(m.Cycle)
+	for _, c := range m.Chips {
+		c.Step(now)
+	}
+	m.drainChipOutput(now)
+	m.Net.Step(now)
+	if m.pool != nil {
+		m.pool.wakeAllAt(now + 1)
+	}
+	// The wakes are unobservable under naive stepping (only the event
+	// engines consult wake cycles), so this costs nothing but keeps the
+	// arrival set exact for a later event-engine step.
+	m.wakeArrivals(now, true)
 	m.Cycle++
 }
 
@@ -152,7 +192,12 @@ func (m *Machine) StepAll() {
 // only the chips whose NextEvent is due; a skipped chip replays its idle
 // stat side effects via SkipCycles, so observable state evolves exactly as
 // under StepAll. The network walk runs only when a message can move. With
-// Config.Workers >= 2 the chip phase runs sharded on the worker pool.
+// Config.Workers >= 2 the chip phase runs sharded on the worker pool under
+// active-set scheduling: chips that are not due are not touched at all —
+// their per-cycle idle bookkeeping is deferred and replayed in one batch
+// when they next become due, or at the next sync point (Run returning,
+// RunUntil, StepAll, Close), so every externally observed state is
+// bit-identical to the serial engines'.
 func (m *Machine) Step() { m.step(m.workers >= 2) }
 
 // step is Step with an explicit engine choice for the chip phase; RunUntil
@@ -166,14 +211,29 @@ func (m *Machine) step(parallel bool) {
 	now := m.Cycle
 	if parallel {
 		if m.pool == nil {
-			m.pool = newChipPool(m.Chips, m.workers)
+			if m.closed {
+				// Without this, a Close before the first parallel step would
+				// let the lazy path resurrect a worker pool on a closed
+				// machine instead of tripping the pool's own panic.
+				panic("machine: parallel chip phase stepped after Close (do not call Step after Machine.Close)")
+			}
+			m.pool = newChipPool(m.Chips, m.workers, m.Cfg.RebalanceEvery)
 			// Backstop for machines that are never Closed (the experiment
 			// harnesses build thousands): release the workers when the
 			// machine becomes unreachable. The cleanup must not capture m.
 			runtime.AddCleanup(m, func(p *chipPool) { p.stop() }, m.pool)
 		}
 		m.pool.step(now)
+		// Only chips that stepped can have buffered output; drain exactly
+		// those, in node-index order.
+		m.pool.drainOutput(now)
 	} else {
+		// Entering the serial chip phase with a pool alive: materialize any
+		// idle bookkeeping the active-set scheduler deferred, so Step's
+		// per-chip cycle invariant holds.
+		if m.pool != nil {
+			m.pool.sync(now)
+		}
 		for _, c := range m.Chips {
 			if c.NextEvent(now) <= now {
 				c.Step(now)
@@ -181,19 +241,46 @@ func (m *Machine) step(parallel bool) {
 				c.SkipCycles(1)
 			}
 		}
+		m.drainChipOutput(now)
 	}
-	m.drainChipOutput(now)
+	netStepped := false
 	if m.Net.NeedsStep(now) {
 		m.Net.Step(now)
+		netStepped = true
 	}
-	// A delivery at cycle now is consumed by the destination's network
-	// input interface at now+1: wake the chip.
-	for i, c := range m.Chips {
+	m.wakeArrivals(now, netStepped)
+	m.Cycle++
+}
+
+// wakeArrivals wakes every chip that has delivered-but-unconsumed network
+// messages: a delivery at cycle now is consumed by the destination's
+// network input interface at now+1, and a node whose queues are still
+// backed up must retry every cycle (the return-to-sender protocol depends
+// on it). The tracked node list is maintained incrementally — last cycle's
+// survivors plus this cycle's delivery targets — so the walk costs
+// O(affected nodes) instead of O(nodes); WakeAll rebuilds it from scratch
+// at Run/RunUntil entry.
+func (m *Machine) wakeArrivals(now int64, netStepped bool) {
+	keep := m.arrivalNodes[:0]
+	for _, i := range m.arrivalNodes {
 		if m.Net.HasArrivals(i) {
-			c.WakeAt(now + 1)
+			keep = append(keep, i)
+		} else {
+			m.arrivalMark[i] = false
 		}
 	}
-	m.Cycle++
+	if netStepped {
+		for _, i := range m.Net.DeliveredNodes() {
+			if !m.arrivalMark[i] {
+				m.arrivalMark[i] = true
+				keep = append(keep, i)
+			}
+		}
+	}
+	m.arrivalNodes = keep
+	for _, i := range keep {
+		m.Chips[i].WakeAt(now + 1)
+	}
 }
 
 // drainChipOutput moves every chip's buffered cycle output into the shared
@@ -212,9 +299,19 @@ func (m *Machine) drainChipOutput(now int64) {
 
 // NextEvent reports the earliest cycle >= now at which any component of the
 // machine can change state without new external input, NoEvent if the
-// machine is permanently idle (deadlocked or finished).
+// machine is permanently idle (deadlocked or finished). With the parallel
+// engine's pool alive the chip minimum comes from the per-shard due-set
+// aggregates — O(shards) instead of O(nodes); the cached values are never
+// later than the chips' true wakes, so the answer can only err early, which
+// at worst costs a spurious (and observably identical) busy cycle.
 func (m *Machine) NextEvent(now int64) int64 {
 	next := m.Net.NextEvent(now)
+	if m.pool != nil {
+		if w := m.pool.nextEvent(now); w < next {
+			next = w
+		}
+		return next
+	}
 	for _, c := range m.Chips {
 		if w := c.NextEvent(now); w < next {
 			next = w
@@ -225,9 +322,14 @@ func (m *Machine) NextEvent(now int64) int64 {
 
 // skip fast-forwards the machine clock d cycles; the caller must have
 // established via NextEvent that no component can act inside the window.
+// With the parallel pool alive the per-chip SkipCycles replay is deferred
+// (the active-set scheduler batches it when a chip next runs, or a sync
+// point materializes it), so a machine-wide idle jump is one addition.
 func (m *Machine) skip(d int64) {
-	for _, c := range m.Chips {
-		c.SkipCycles(d)
+	if m.pool == nil {
+		for _, c := range m.Chips {
+			c.SkipCycles(d)
+		}
 	}
 	m.Cycle += d
 }
@@ -279,6 +381,10 @@ const quietWindow = 32
 // per-cycle stall statistics — are replayed exactly by Machine.skip, so
 // cycle counts, state, and traces stay bit-identical to the naive loop.
 func (m *Machine) Run(maxCycles int64) (int64, error) {
+	// The active-set scheduler defers idle chips' per-cycle bookkeeping;
+	// materialize it before returning so callers observe exactly the
+	// per-chip cycle counts and stall statistics of the serial engines.
+	defer m.syncDeferred()
 	m.WakeAll()
 	start := m.Cycle
 	bound := start + maxCycles + quietWindow
@@ -354,11 +460,39 @@ func (m *Machine) totalIssued() uint64 {
 // WakeAll forces every chip to re-derive its next event on its coming
 // step. Run and RunUntil call it on entry so that any state mutated from
 // outside the simulation between runs (program loads, register pokes) is
-// observed; within a run the engine maintains wake cycles itself.
+// observed; within a run the engine maintains wake cycles itself. It also
+// rebuilds the tracked arrival set from scratch, so deliveries that
+// happened outside the event engines (e.g. naive-engine cycles on the same
+// machine) are re-observed.
 func (m *Machine) WakeAll() {
-	for _, c := range m.Chips {
+	m.arrivalNodes = m.arrivalNodes[:0]
+	for i, c := range m.Chips {
+		if m.Net.HasArrivals(i) {
+			m.arrivalMark[i] = true
+			m.arrivalNodes = append(m.arrivalNodes, i)
+		} else {
+			m.arrivalMark[i] = false
+		}
 		c.Touch()
 	}
+}
+
+// syncDeferred materializes any idle-chip bookkeeping the active-set
+// scheduler deferred (no-op without a pool).
+func (m *Machine) syncDeferred() {
+	if m.pool != nil {
+		m.pool.sync(m.Cycle)
+	}
+}
+
+// Rebalances reports how many times the parallel engine has re-drawn its
+// shard boundaries (0 when the pool never started). Diagnostics only:
+// rebalancing cannot affect simulated results.
+func (m *Machine) Rebalances() int64 {
+	if m.pool == nil {
+		return 0
+	}
+	return m.pool.Rebalances()
 }
 
 // RunUntil steps until pred holds or maxCycles elapse. The event engine
@@ -369,6 +503,7 @@ func (m *Machine) WakeAll() {
 // a parallel-configured machine: with no fast-forward amortizing it, the
 // per-cycle barrier would dominate, and the result is identical anyway.
 func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
+	m.syncDeferred() // pred may read per-chip state a prior Run deferred
 	m.WakeAll()
 	start := m.Cycle
 	for m.Cycle-start < maxCycles {

@@ -8,83 +8,555 @@ package machine
 // programs) and its own node's arrival queues — because the one shared
 // *write* path, network injection, goes through the per-chip outbox that
 // the machine drains serially after the barrier (see DESIGN.md, "The
-// parallel engine"). Idle cycles never reach the pool: Machine.Run
-// fast-forwards them, so the barrier cost is paid only on cycles where
-// some chip actually works.
+// parallel engine").
+//
+// The pool is *active-set scheduled* (DESIGN.md, "Active-set scheduling"):
+// each shard keeps a due-heap over its chips' NextEvent cycles, so a busy
+// cycle costs work proportional to the chips that actually act. Idle chips
+// are not touched at all — their per-cycle SkipCycles bookkeeping is
+// deferred and replayed in one batched call when they next become due (or
+// at a sync point). Chips re-enter the due-set through the wake hook
+// (chip.SetWakeHook), which the machine's serial phases fire on every
+// external wake (message delivery, Touch, LoadProgram). Shards whose whole
+// due-set lies in the future are not dispatched at all, and the dispatch
+// itself is a sense-reversing barrier on atomics (spin-then-park) instead
+// of a channel round trip per worker per cycle. Contiguous shard
+// boundaries are re-drawn periodically from observed per-chip step counts
+// (dynamic rebalancing), so heterogeneous busy/idle mixes keep the workers
+// evenly loaded.
 
 import (
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chip"
 )
 
-// chipPool is the persistent worker pool. Each worker owns a fixed,
-// contiguous shard of the chip slice; per cycle it receives the cycle
-// number on its start channel, steps its shard, and signals the barrier.
+// Dispatch mailbox sentinels. Real dispatches carry the cycle number, which
+// is non-negative and strictly increasing, so both sentinels are distinct
+// from every dispatch and from each other.
+const (
+	idleCycle = int64(-1) // mailbox initial value (no dispatch yet)
+	quitCycle = int64(-2) // stop request
+	// notParked marks "nobody is parked" in the park-generation words
+	// (shard.parked, chipPool.mparked). It must differ from every value a
+	// waiter can park on: cycles (>= 0) and idleCycle.
+	notParked = int64(-3)
+)
+
+// Barrier spin budgets before parking. The spin phase keeps the
+// worker-to-worker handoff at cache-line latency on busy meshes; the park
+// phase keeps an oversubscribed or mostly-idle host from burning cores.
+const (
+	dispatchSpins = 256
+	gatherSpins   = 256
+)
+
+// defaultRebalanceEvery is the rebalance-check window (in dispatched busy
+// cycles) when Config.RebalanceEvery is zero.
+const defaultRebalanceEvery = 1024
+
+// dueEntry is one due-heap element: chip `node` is believed runnable at
+// cycle `at`. Entries are compared by (at, node) so that same-cycle pops
+// come out in node-index order (which keeps the per-cycle stepped list
+// nearly sorted).
+type dueEntry struct {
+	at   int64
+	node int32
+}
+
+// shard is one worker's slice of the machine plus its barrier endpoints.
+// The worker owns everything here during the chip phase; the machine owns
+// it between barriers (wake hooks, rebalancing). The two never overlap: the
+// barrier's atomics order every handoff.
+type shard struct {
+	lo, hi int        // chip index range [lo, hi)
+	heap   []dueEntry // min-heap over due chips, lazy-deleted against pool.due
+	next   int64      // cached min due cycle of the shard (NoEvent if none)
+
+	// stepped lists the node indices this shard stepped in the current
+	// cycle, sorted ascending; the machine drains exactly these chips'
+	// outboxes and trace buffers after the barrier.
+	stepped []int32
+
+	// Dispatch mailbox: the machine stores the cycle to run (or quitCycle),
+	// the worker spins on it and parks on wakeCh when the spin budget runs
+	// out. parked holds the mailbox value the worker parked on (notParked
+	// when it is not parked): the machine wakes a worker by compare-and-
+	// swapping the *previous* mailbox value, so it can never be fooled by a
+	// worker that caught the new value through the spin path, completed the
+	// whole cycle, and parked again before the machine's wake check ran.
+	slot   atomic.Int64
+	parked atomic.Int64
+	wakeCh chan struct{}
+}
+
+// chipPool is the persistent worker pool. Worker w permanently owns
+// shards[w]; rebalancing moves only the [lo, hi) boundaries.
 type chipPool struct {
-	starts   []chan int64
-	wg       sync.WaitGroup
-	quit     chan struct{}
+	chips  []*chip.Chip
+	shards []shard
+
+	// due[i] is the pool's belief of chip i's next event cycle. It is never
+	// later than the chip's true wake: it is read back from the chip after
+	// every pool step of that chip, and lowered by the wake hook on every
+	// external wake. Stale-early values merely cause a spurious due-heap
+	// pop. shardOf[i] locates chip i's current shard for the hook.
+	due     []int64
+	shardOf []int32
+
+	// work counts steps per chip since the last rebalance window, the
+	// weight input for re-drawing shard boundaries. Each worker writes only
+	// its own shard's entries.
+	work       []uint32
+	windowLeft int64 // dispatched cycles until the next rebalance check
+	every      int64 // rebalance window length (<= 0: rebalancing disabled)
+	rebalances int64
+
+	// Gather-side barrier state. remaining counts down the workers
+	// dispatched this cycle; the worker that takes it to zero wakes the
+	// machine if (and only if) the machine parked for that same cycle:
+	// mparked holds the cycle the machine is parked on (notParked when it
+	// is not), and the waker claims it by compare-and-swap, so a worker
+	// finishing late can never complete a *later* cycle's barrier.
+	remaining atomic.Int32
+	mparked   atomic.Int64
+	done      chan struct{}
+
+	stopped  atomic.Bool
 	stopOnce sync.Once
 }
 
 // newChipPool starts min(workers, len(chips)) workers over contiguous
-// shards of near-equal size. The goroutines persist until stop.
-func newChipPool(chips []*chip.Chip, workers int) *chipPool {
-	p := &chipPool{quit: make(chan struct{})}
+// shards of near-equal size and installs the due-set wake hooks. The
+// goroutines persist until stop. rebalanceEvery <= -1 disables rebalancing;
+// 0 selects the default window.
+func newChipPool(chips []*chip.Chip, workers int, rebalanceEvery int64) *chipPool {
 	n := len(chips)
 	if workers > n {
 		workers = n
 	}
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		if lo == hi {
-			continue
-		}
-		start := make(chan int64, 1)
-		p.starts = append(p.starts, start)
-		go p.worker(chips[lo:hi], start)
+	if rebalanceEvery == 0 {
+		rebalanceEvery = defaultRebalanceEvery
+	}
+	p := &chipPool{
+		chips:      chips,
+		shards:     make([]shard, workers),
+		due:        make([]int64, n),
+		shardOf:    make([]int32, n),
+		work:       make([]uint32, n),
+		every:      rebalanceEvery,
+		windowLeft: rebalanceEvery,
+		done:       make(chan struct{}, 1),
+	}
+	p.mparked.Store(notParked)
+	for i, c := range chips {
+		p.due[i] = c.NextEvent(c.Cycle)
+		i := i
+		c.SetWakeHook(func(at int64) { p.wake(i, at) })
+	}
+	for w := range p.shards {
+		s := &p.shards[w]
+		s.lo, s.hi = w*n/workers, (w+1)*n/workers
+		s.wakeCh = make(chan struct{}, 1)
+		s.slot.Store(idleCycle)
+		s.parked.Store(notParked)
+		p.rebuildShard(s, int32(w))
+		go p.worker(w)
 	}
 	return p
 }
 
-func (p *chipPool) worker(shard []*chip.Chip, start chan int64) {
+// rebuildShard recomputes shard w's due-heap, cached next, and the chips'
+// shardOf entries from the current [lo, hi) boundaries and due cache.
+func (p *chipPool) rebuildShard(s *shard, w int32) {
+	s.heap = s.heap[:0]
+	for i := s.lo; i < s.hi; i++ {
+		p.shardOf[i] = w
+		if p.due[i] != NoEvent {
+			s.push(dueEntry{p.due[i], int32(i)})
+		}
+	}
+	if len(s.heap) > 0 {
+		s.next = s.heap[0].at
+	} else {
+		s.next = NoEvent
+	}
+}
+
+// wake is the chip wake hook: chip node became runnable at cycle at. It
+// runs only on the machine goroutine between chip phases (drain, arrival
+// wake-ups, Run entry, program loads), when every worker is parked at the
+// barrier, so it may touch shard heaps directly.
+func (p *chipPool) wake(node int, at int64) {
+	if at >= p.due[node] {
+		return
+	}
+	p.due[node] = at
+	s := &p.shards[p.shardOf[node]]
+	s.push(dueEntry{at, int32(node)})
+	if at < s.next {
+		s.next = at
+	}
+}
+
+// wakeAllAt marks every chip as possibly due at cycle at (used by StepAll,
+// whose forced chip steps can lower wakes without firing the hooks). Early
+// entries are always safe: a spurious pop just re-enqueues the chip at its
+// true wake.
+func (p *chipPool) wakeAllAt(at int64) {
+	for i := range p.chips {
+		p.wake(i, at)
+	}
+}
+
+// nextEvent reports the earliest cycle >= now at which any chip can act,
+// NoEvent if all chips are permanently idle — the shard-aggregated form of
+// scanning every chip, O(shards) instead of O(nodes).
+func (p *chipPool) nextEvent(now int64) int64 {
+	next := NoEvent
+	for i := range p.shards {
+		if p.shards[i].next < next {
+			next = p.shards[i].next
+		}
+	}
+	if next < now {
+		return now
+	}
+	return next
+}
+
+// step runs one parallel chip phase for cycle now: dispatch every shard
+// with due work, then barrier until they finish. Shards that are wholly
+// idle this cycle are not dispatched (and their chips are not touched —
+// deferred SkipCycles catch-up replays the idle window when each chip next
+// runs). On return the stepped chips have advanced to now+1 and their
+// outbox/trace buffers hold the cycle's output.
+func (p *chipPool) step(now int64) {
+	if p.stopped.Load() {
+		panic("machine: parallel chip phase stepped after Close (the worker pool is stopped; do not call Step after Machine.Close)")
+	}
+	dispatched := int32(0)
+	for i := range p.shards {
+		if p.shards[i].next <= now {
+			dispatched++
+		}
+	}
+	if dispatched == 0 {
+		for i := range p.shards {
+			p.shards[i].stepped = p.shards[i].stepped[:0]
+		}
+		return
+	}
+	p.remaining.Store(dispatched)
+	for i := range p.shards {
+		s := &p.shards[i]
+		if s.next <= now {
+			p.dispatch(s, now)
+		} else {
+			s.stepped = s.stepped[:0]
+		}
+	}
+	p.awaitGather(now)
+	p.maybeRebalance()
+}
+
+// dispatch releases one worker for cycle now (or quitCycle): publish the
+// mailbox, then wake the worker iff it is parked on the value the mailbox
+// held before — claiming the park by compare-and-swap on that generation.
+// A plain boolean here is wrong: the worker can catch the new value
+// through its spin loop, run the entire cycle, and park *again* before
+// this check runs, and a boolean wake would then deliver a token for a
+// dispatch the worker already completed (a phantom wake-up one cycle
+// later). The generation CAS fails in that interleaving, because the
+// worker is parked on now, not on prev.
+func (p *chipPool) dispatch(s *shard, now int64) {
+	prev := s.slot.Load()
+	s.slot.Store(now)
+	if s.parked.CompareAndSwap(prev, notParked) {
+		s.wakeCh <- struct{}{}
+	}
+}
+
+// await blocks the shard's worker until a dispatch newer than last
+// arrives: spin on the mailbox, then park on the wake channel. The park
+// generation (the value being waited past) is advertised before the final
+// mailbox recheck, mirroring dispatch, so exactly one of the two sides
+// completes the handshake and a wake token can never outlive its cycle.
+func (s *shard) await(last int64) int64 {
+	for i := 0; i < dispatchSpins; i++ {
+		if v := s.slot.Load(); v != last {
+			return v
+		}
+		runtime.Gosched()
+	}
+	s.parked.Store(last)
+	if v := s.slot.Load(); v != last {
+		if !s.parked.CompareAndSwap(last, notParked) {
+			// The dispatcher claimed the park first and committed to a
+			// wake: consume the token so it cannot leak into a later cycle.
+			<-s.wakeCh
+		}
+		return v
+	}
+	<-s.wakeCh
+	return s.slot.Load()
+}
+
+// worker is the per-shard goroutine: await a dispatch, run the shard,
+// arrive at the gather barrier; quit on quitCycle. The last arriver of
+// cycle now wakes the machine iff the machine parked *for cycle now* — the
+// compare-and-swap on the parked generation makes a late arrival from an
+// earlier cycle harmless.
+func (p *chipPool) worker(w int) {
+	s := &p.shards[w]
+	last := idleCycle
 	for {
-		select {
-		case now := <-start:
-			stepShard(shard, now)
-			p.wg.Done()
-		case <-p.quit:
+		now := s.await(last)
+		if now == quitCycle {
 			return
 		}
+		p.runShard(s, now)
+		if p.remaining.Add(-1) == 0 && p.mparked.CompareAndSwap(now, notParked) {
+			p.done <- struct{}{}
+		}
+		last = now
 	}
 }
 
-// stepShard advances each chip of the shard by one cycle: due chips step,
-// idle chips replay their per-cycle stall bookkeeping — exactly the
-// per-chip dispatch of the serial event engine, on goroutine-private state.
-func stepShard(shard []*chip.Chip, now int64) {
-	for _, c := range shard {
+// awaitGather blocks the machine until every worker dispatched for cycle
+// now has arrived, with the same spin-then-park protocol as the workers.
+func (p *chipPool) awaitGather(now int64) {
+	for i := 0; i < gatherSpins; i++ {
+		if p.remaining.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	p.mparked.Store(now)
+	if p.remaining.Load() == 0 {
+		if !p.mparked.CompareAndSwap(now, notParked) {
+			// The last worker claimed the park: consume its token so it
+			// cannot leak into a later cycle's barrier.
+			<-p.done
+		}
+		return
+	}
+	<-p.done
+}
+
+// runShard advances the shard's due chips through cycle now: pop every
+// due-heap entry at or before now, batch-replay the chip's deferred idle
+// cycles, step it if it is in fact due, and re-enter it with its new
+// NextEvent. Chips whose entries lie beyond now are never touched — the
+// active-set property. Stale heap entries (superseded by a lower due value)
+// are discarded lazily.
+func (p *chipPool) runShard(s *shard, now int64) {
+	s.stepped = s.stepped[:0]
+	for len(s.heap) > 0 && s.heap[0].at <= now {
+		e := s.pop()
+		if e.at != p.due[e.node] {
+			continue // stale
+		}
+		c := p.chips[e.node]
+		if d := now - c.Cycle; d > 0 {
+			c.SkipCycles(d)
+		}
 		if c.NextEvent(now) <= now {
 			c.Step(now)
+			p.work[e.node]++
+			s.stepped = append(s.stepped, e.node)
+			p.requeue(s, e.node, c.NextEvent(now+1))
 		} else {
-			c.SkipCycles(1)
+			// Spurious wake (the cached due cycle was early): re-enter the
+			// chip at its true wake.
+			p.requeue(s, e.node, c.NextEvent(now))
+		}
+	}
+	for len(s.heap) > 0 && s.heap[0].at != p.due[s.heap[0].node] {
+		s.pop()
+	}
+	if len(s.heap) > 0 {
+		s.next = s.heap[0].at
+	} else {
+		s.next = NoEvent
+	}
+	// Pops at the same cycle come out in node order, so the list is usually
+	// already sorted and this is a cheap linear pass.
+	slices.Sort(s.stepped)
+}
+
+// requeue records chip node's next event and re-enters it into the
+// due-heap. NoEvent chips leave the heap entirely: only a wake hook can
+// bring them back.
+func (p *chipPool) requeue(s *shard, node int32, at int64) {
+	p.due[node] = at
+	if at != NoEvent {
+		s.push(dueEntry{at, node})
+	}
+}
+
+// drainOutput flushes the cycle's output of exactly the chips that stepped,
+// in global node-index order (shards are contiguous and ascending, and each
+// stepped list is sorted). Chips that did not step buffered nothing, so
+// this is bit-identical to draining every chip.
+func (p *chipPool) drainOutput(now int64) {
+	for i := range p.shards {
+		for _, node := range p.shards[i].stepped {
+			c := p.chips[node]
+			c.FlushTrace()
+			c.FlushNet(now)
 		}
 	}
 }
 
-// step runs one parallel chip phase: release every worker for cycle now,
-// then barrier until all shards finish. On return every chip has advanced
-// to now+1 and its outbox/trace buffers hold the cycle's output.
-func (p *chipPool) step(now int64) {
-	p.wg.Add(len(p.starts))
-	for _, start := range p.starts {
-		start <- now
+// sync catches every chip up to cycle now, materializing the deferred idle
+// bookkeeping (SkipCycles) the active-set scheduler batches. The machine
+// calls it before any serial chip phase, before Close, and when Run
+// returns, so external observers always see the same per-chip cycle counts
+// and stall statistics the serial engines produce.
+func (p *chipPool) sync(now int64) {
+	for _, c := range p.chips {
+		if d := now - c.Cycle; d > 0 {
+			c.SkipCycles(d)
+		}
 	}
-	p.wg.Wait()
 }
 
+// maybeRebalance re-draws shard boundaries when the observed per-shard work
+// of the last window is imbalanced. It runs on the machine goroutine right
+// after the gather barrier, so no worker is active.
+func (p *chipPool) maybeRebalance() {
+	if p.every <= 0 || len(p.shards) < 2 {
+		return
+	}
+	p.windowLeft--
+	if p.windowLeft > 0 {
+		return
+	}
+	p.windowLeft = p.every
+
+	var total, maxShard uint64
+	for i := range p.shards {
+		var sum uint64
+		for n := p.shards[i].lo; n < p.shards[i].hi; n++ {
+			sum += uint64(p.work[n])
+		}
+		total += sum
+		if sum > maxShard {
+			maxShard = sum
+		}
+	}
+	if total == 0 || maxShard*2*uint64(len(p.shards)) <= total*3 {
+		// Balanced enough (max <= 1.5x the mean): keep the boundaries.
+		clear(p.work)
+		return
+	}
+	p.rebalance()
+	clear(p.work)
+	p.rebalances++
+}
+
+// rebalance re-partitions the chips into contiguous shards of near-equal
+// observed weight (steps in the last window, plus one so idle chips spread
+// evenly), then rebuilds the per-shard due-heaps. Only which worker steps
+// which chip changes; the drain order and every simulated outcome are
+// unaffected (see DESIGN.md, "Active-set scheduling").
+func (p *chipPool) rebalance() {
+	n := len(p.chips)
+	nsh := len(p.shards)
+	var totalW uint64
+	for _, w := range p.work {
+		totalW += uint64(w) + 1
+	}
+	cut := 0
+	var acc uint64
+	for k := 0; k < nsh; k++ {
+		s := &p.shards[k]
+		s.lo = cut
+		if k == nsh-1 {
+			s.hi = n
+		} else {
+			// Leave at least one chip for each remaining shard, and stop at
+			// the prefix-weight target for shards 0..k.
+			maxHi := n - (nsh - 1 - k)
+			target := totalW * uint64(k+1) / uint64(nsh)
+			hi := cut + 1
+			acc += uint64(p.work[cut]) + 1
+			for hi < maxHi && acc < target {
+				acc += uint64(p.work[hi]) + 1
+				hi++
+			}
+			s.hi = hi
+		}
+		cut = s.hi
+		p.rebuildShard(s, int32(k))
+	}
+}
+
+// Rebalances reports how many times the pool has re-drawn its shard
+// boundaries (for tests and diagnostics).
+func (p *chipPool) Rebalances() int64 { return p.rebalances }
+
 // stop terminates the workers. Idempotent; safe after any number of steps.
+// A worker parked at the dispatch barrier is woken and exits; stepping the
+// pool after stop panics (see step).
 func (p *chipPool) stop() {
-	p.stopOnce.Do(func() { close(p.quit) })
+	p.stopOnce.Do(func() {
+		p.stopped.Store(true)
+		for i := range p.shards {
+			p.dispatch(&p.shards[i], quitCycle)
+		}
+	})
+}
+
+// push/pop implement the due-heap (a plain slice binary min-heap ordered by
+// (at, node); no container/heap, so no interface boxing on the hot path).
+func (s *shard) push(e dueEntry) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	s.heap = h
+}
+
+func (s *shard) pop() dueEntry {
+	h := s.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	if len(h) > 0 {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			if l >= len(h) {
+				break
+			}
+			child := l
+			if r < len(h) && h[r].less(h[l]) {
+				child = r
+			}
+			if !h[child].less(last) {
+				break
+			}
+			h[i] = h[child]
+			i = child
+		}
+		h[i] = last
+	}
+	s.heap = h
+	return top
+}
+
+func (e dueEntry) less(o dueEntry) bool {
+	return e.at < o.at || (e.at == o.at && e.node < o.node)
 }

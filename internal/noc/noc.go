@@ -124,6 +124,13 @@ type Network struct {
 	// themselves are unshared; this counter is the one cross-node write).
 	arrivalCount atomic.Int64
 
+	// deliveredTo lists the nodes that received at least one delivery
+	// during the most recent Step, deduplicated via deliveredMark (per-node
+	// cycle of the last recorded delivery). The machine uses it to wake
+	// exactly the affected chips instead of scanning every node per cycle.
+	deliveredTo   []int
+	deliveredMark []int64
+
 	// nextWake caches the earliest readyAt among in-flight messages,
 	// recomputed by Step and lowered by Inject (the NextEvent source).
 	nextWake int64
@@ -139,13 +146,18 @@ func New(dims Coord, cfg Config) *Network {
 		panic(fmt.Sprintf("noc: bad mesh dimensions %v", dims))
 	}
 	nodes := dims.X * dims.Y * dims.Z
-	return &Network{
-		cfg:      cfg,
-		dims:     dims,
-		linkBusy: make([]int64, nodes*3*2*NumPriorities),
-		arrivals: make([][NumPriorities]msgQueue, nodes),
-		nextWake: NoEvent,
+	n := &Network{
+		cfg:           cfg,
+		dims:          dims,
+		linkBusy:      make([]int64, nodes*3*2*NumPriorities),
+		arrivals:      make([][NumPriorities]msgQueue, nodes),
+		nextWake:      NoEvent,
+		deliveredMark: make([]int64, nodes),
 	}
+	for i := range n.deliveredMark {
+		n.deliveredMark[i] = -1 // cycles are never negative
+	}
+	return n
 }
 
 // linkIndex flattens (node, dimension, direction, priority) into the
@@ -216,6 +228,7 @@ func (n *Network) Inject(now int64, m *Message) {
 // are compacted in place and no allocation happens on the steady-state path.
 func (n *Network) Step(now int64) {
 	wake := NoEvent
+	n.deliveredTo = n.deliveredTo[:0]
 	for pri := NumPriorities - 1; pri >= 0; pri-- {
 		flights := n.flight[pri]
 		remaining := flights[:0]
@@ -229,8 +242,13 @@ func (n *Network) Step(now int64) {
 			}
 			if f.at == f.msg.Dst {
 				// Delivery into the node's hardware message queue.
-				n.arrivals[n.Index(f.at)][pri].push(f.msg)
+				node := n.Index(f.at)
+				n.arrivals[node][pri].push(f.msg)
 				n.arrivalCount.Add(1)
+				if n.deliveredMark[node] != now {
+					n.deliveredMark[node] = now
+					n.deliveredTo = append(n.deliveredTo, node)
+				}
 				f.msg.DeliveredAt = now
 				n.Delivered++
 				continue
@@ -330,6 +348,11 @@ func (n *Network) Pop(c Coord, pri int) *Message {
 func (n *Network) PendingAt(c Coord, pri int) int {
 	return n.arrivals[n.Index(c)][pri].len()
 }
+
+// DeliveredNodes returns the nodes that received at least one delivery
+// during the most recent Step, without duplicates, in delivery order. The
+// slice is valid until the next Step; callers must not retain it.
+func (n *Network) DeliveredNodes() []int { return n.deliveredTo }
 
 // HasArrivals reports whether node i has delivered-but-unconsumed messages
 // at either priority.

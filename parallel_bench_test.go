@@ -80,6 +80,79 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// idleMixSim boots a dims-shaped machine with spin loops on all four
+// clusters of the first busyNodes nodes and nothing on the rest, so every
+// busy cycle has exactly busyNodes due chips. The busy nodes are clustered
+// at the low end of the node range — the worst case for static contiguous
+// shards and the configuration active-set scheduling plus rebalancing is
+// for.
+func idleMixSim(tb testing.TB, dims noc.Coord, busyNodes, workers int) *core.Sim {
+	s, err := core.NewSim(core.Options{Dims: dims, Workers: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spin := `
+    movi i1, #0
+loop:
+    add i1, i1, #1
+    br loop
+`
+	for n := 0; n < busyNodes; n++ {
+		for cl := 0; cl < 4; cl++ {
+			if err := s.LoadASM(n, 0, cl, spin); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 16; i++ {
+		s.M.Step()
+	}
+	return s
+}
+
+// BenchmarkIdleMix measures the engines on heterogeneous busy/idle mixes:
+// a 128-node mesh where only 10%/50%/90% of the chips are idle each cycle.
+// The serial event engine touches every chip every busy cycle (idle ones
+// via SkipCycles(1)); the active-set parallel engine's cost is
+// proportional to the busy chips alone, which is the win this benchmark
+// demonstrates and guards. Workers are fixed at 4 so the comparison is
+// about scheduling, not host core count.
+func BenchmarkIdleMix(b *testing.B) {
+	dims := noc.Coord{X: 8, Y: 8, Z: 2} // 128 nodes
+	total := dims.X * dims.Y * dims.Z
+	mixes := []struct {
+		name     string
+		idlePart int // percent of chips idle per cycle
+	}{
+		{"Idle10", 10},
+		{"Idle50", 50},
+		{"Idle90", 90},
+	}
+	engines := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	}
+	for _, mix := range mixes {
+		busy := total * (100 - mix.idlePart) / 100
+		for _, eng := range engines {
+			b.Run(mix.name+"/"+eng.name, func(b *testing.B) {
+				s := idleMixSim(b, dims, busy, eng.workers)
+				defer s.M.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.M.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+				b.ReportMetric(float64(b.N)*float64(busy)/b.Elapsed().Seconds(),
+					"busy-node-cycles/sec")
+			})
+		}
+	}
+}
+
 // TestParallelSpeedup is the acceptance tripwire for the parallel engine:
 // on a host with ≥ 4 cores, stepping a busy 128-node mesh (8x8x2, well
 // past the 32-node bar) must be ≥ 2× faster under the parallel engine
