@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup bench-smoke bench benchdiff
+.PHONY: ci build vet test race speedup checkpoint bench-smoke bench benchdiff
 
-ci: build vet test race speedup bench-smoke benchdiff
+ci: build vet test race speedup checkpoint bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,19 @@ race:
 # hosts with fewer than 4 cores).
 speedup:
 	PARALLEL_SPEEDUP=1 $(GO) test -run TestParallelSpeedup -count=1 .
+
+# Checkpoint round-trip gate, in its own invocation so a snapshot
+# regression is named in CI output: the engine-pair determinism matrix
+# (run -> snapshot -> continue vs restore -> continue, bit-identical
+# including trace streams), the corrupt/truncated/wrong-version error
+# paths, and an end-to-end msim -save / -restore round trip.
+checkpoint:
+	$(GO) test -run 'TestSnapshot|TestDoubleClose|TestRestoredBoot|TestSimFork|TestSimRestore' -count=1 ./internal/machine ./internal/core
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/msim -save $$tmp/ci.snap testdata/fib.masm >$$tmp/a.out && \
+	$(GO) run ./cmd/msim -restore $$tmp/ci.snap testdata/fib.masm >$$tmp/b.out && \
+	grep -q 'i1  = 6765' $$tmp/b.out && echo "checkpoint: msim save/restore round trip OK"; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

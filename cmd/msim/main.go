@@ -4,12 +4,18 @@
 // Usage:
 //
 //	msim [-nodes N] [-node I] [-vthread V] [-cluster C] [-cycles MAX]
-//	     [-caching] [-trace] prog.masm
+//	     [-caching] [-trace] [-restore FILE] [-save FILE] prog.masm
 //
 // The program runs privileged (raw addressing) on the selected H-Thread
 // slot; the software runtime (LTLB miss, message, and fault handlers) is
 // installed on every node, and node i homes virtual words
 // [i*4096, (i+1)*4096).
+//
+// -restore loads a machine snapshot (written by a previous -save) before
+// the program is loaded, so long scenarios can resume instead of
+// replaying from cycle 0; -save writes the post-run state. A snapshot
+// only restores into a machine with the same mesh and chip
+// configuration.
 package main
 
 import (
@@ -29,12 +35,28 @@ func main() {
 	cycles := flag.Int64("cycles", 1_000_000, "cycle budget")
 	caching := flag.Bool("caching", false, "cache remote data in local DRAM")
 	showTrace := flag.Bool("trace", false, "print the event trace")
+	restorePath := flag.String("restore", "", "restore machine state from this snapshot before running")
+	savePath := flag.String("save", "", "write a machine snapshot to this file after the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: msim [flags] prog.masm")
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Validate flag ranges up front: out-of-range slots used to reach
+	// machine construction and panic or index out of bounds.
+	if *nodes < 1 {
+		usageErr("-nodes must be at least 1 (got %d)", *nodes)
+	}
+	if *node < 0 || *node >= *nodes {
+		usageErr("-node %d outside the %d-node mesh (valid: 0-%d)", *node, *nodes, *nodes-1)
+	}
+	if *vthread < 0 || *vthread > 3 {
+		usageErr("-vthread %d outside the user V-Thread slots (valid: 0-3)", *vthread)
+	}
+	if *clusterID < 0 || *clusterID > 3 {
+		usageErr("-cluster %d outside the chip's clusters (valid: 0-3)", *clusterID)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -44,6 +66,17 @@ func main() {
 	s, err := core.NewSim(core.Options{Nodes: *nodes, Caching: *caching})
 	if err != nil {
 		fatal(err)
+	}
+	if *restorePath != "" {
+		f, err := os.Open(*restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		err = s.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if err := s.LoadASM(*node, *vthread, *clusterID, string(src)); err != nil {
 		fatal(err)
@@ -75,9 +108,42 @@ func main() {
 		fmt.Println("\ntrace:")
 		fmt.Print(trace.Timeline(s.Recorder.Events))
 	}
+	if *savePath != "" {
+		if err := saveSnapshot(s, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsnapshot written to %s\n", *savePath)
+	}
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// saveSnapshot writes the machine state to path atomically enough for a
+// CLI: create, save, close, rename on success.
+func saveSnapshot(s *core.Sim, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// usageErr reports a flag validation error on one line and exits 2, the
+// conventional usage-error status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "msim: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func fatal(err error) {

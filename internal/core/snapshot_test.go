@@ -1,0 +1,144 @@
+package core
+
+// Simulator-facade checkpoint tests: a restored simulator matches a
+// never-snapshotted one, forks evolve independently, and the recorder
+// keeps tracing across a restore. The engine-matrix coverage of snapshot
+// round-trips lives in internal/machine (TestSnapshotRoundTripMatrix);
+// Table1 — whose write cells warm-start from forks of the staged
+// machines — is additionally pinned across engines by
+// TestDeterminismEngines.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// simResult runs the simulator's loaded program and fingerprints it.
+func simResult(t *testing.T, s *Sim) string {
+	t.Helper()
+	ran, err := s.Run(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	return fmt.Sprintf("ran=%d i5=%d insts=%d msgs=%d ltlb=%d",
+		ran, s.Reg(0, 0, 0, 5), st.Instructions, st.MsgsInjected, st.LTLBFaults)
+}
+
+const snapTestProg = `
+    movi i1, #4096          ; node 1's home range: remote traffic
+    movi i2, #0
+    movi i3, #10
+loop:
+    st [i1], i2
+    ld i4, [i1]
+    add i5, i5, i4
+    add i1, i1, #5
+    add i2, i2, #1
+    lt i6, i2, i3
+    brt i6, loop
+    halt
+`
+
+// TestRestoredBootMatchesFreshBoot: restoring a fresh boot's snapshot
+// over another fresh boot must run a workload to the exact result of a
+// never-snapshotted simulator (restore loses and invents nothing).
+func TestRestoredBootMatchesFreshBoot(t *testing.T) {
+	fresh, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadASM(0, 0, 0, snapTestProg); err != nil {
+		t.Fatal(err)
+	}
+	want := simResult(t, fresh)
+
+	src, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.LoadASM(0, 0, 0, snapTestProg); err != nil {
+		t.Fatal(err)
+	}
+	if got := simResult(t, warm); got != want {
+		t.Errorf("restored boot diverged: %s vs fresh %s", got, want)
+	}
+}
+
+// TestSimFork: a fork taken mid-run matches its parent's continuation,
+// and mutating the fork does not leak into the parent.
+func TestSimFork(t *testing.T) {
+	s, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadASM(0, 0, 0, snapTestProg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunUntil(func() bool { return false }, 300); err == nil {
+		t.Fatal("RunUntil with a false predicate should time out")
+	}
+	f, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.M.Close()
+	// Perturb the fork's accumulator: its result must change while the
+	// parent's does not.
+	g, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.M.Close()
+	g.SetReg(0, 0, 0, 5, 100000)
+
+	want := simResult(t, s)
+	if got := simResult(t, f); got != want {
+		t.Errorf("fork diverged from parent: %s vs %s", got, want)
+	}
+	if got := simResult(t, g); got == want {
+		t.Errorf("perturbed fork still matched parent (%s) — forks are not independent", got)
+	}
+}
+
+// TestSimRestoreKeepsRecording: the Sim's trace recorder installed before
+// a restore keeps receiving events after it.
+func TestSimRestoreKeepsRecording(t *testing.T) {
+	a, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LoadASM(0, 0, 0, snapTestProg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewSim(Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(200000); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Recorder.Events) == 0 {
+		t.Error("no trace events recorded after restore")
+	}
+}

@@ -83,6 +83,24 @@ type Machine struct {
 	// engines only; the naive loop steps everything anyway.
 	arrivalNodes []int
 	arrivalMark  []bool
+
+	// Run-loop activity counters (ROADMAP, "Run-loop active sets"): the
+	// loop head's UserDone/Quiescent/totalIssued checks ran O(nodes) scans
+	// every busy cycle; these cache the same quantities per chip and
+	// maintain the machine totals incrementally. A chip's contribution can
+	// only change on a cycle it steps (every thread transition, queue
+	// push, and issue happens inside Chip.Step, and its outbox is drained
+	// before the counters are read), so noteStepped refreshes exactly the
+	// stepped chips — O(active) per cycle. recomputeActive rebuilds
+	// everything at Run/RunUntil entry and after Restore, covering
+	// external mutations (program loads, pokes) between runs.
+	runningUser int    // running user H-Threads across all chips
+	busyChips   int    // chips with outstanding work (!chip.Quiescent)
+	issuedTotal uint64 // sum of per-chip InstsIssued
+	chipRunning []int
+	chipBusy    []bool
+	chipIssued  []uint64
+	steppedBuf  []int // serial event phase scratch: chips stepped this cycle
 }
 
 // Reserved physical layout (words). The LPT base comes from the memory
@@ -118,6 +136,9 @@ func New(cfg Config) *Machine {
 		Chips:       make([]*chip.Chip, net.NumNodes()),
 		nextPPN:     make([]uint64, net.NumNodes()),
 		arrivalMark: make([]bool, net.NumNodes()),
+		chipRunning: make([]int, net.NumNodes()),
+		chipBusy:    make([]bool, net.NumNodes()),
+		chipIssued:  make([]uint64, net.NumNodes()),
 	}
 	m.workers = cfg.Workers
 	if m.workers < 0 {
@@ -143,9 +164,13 @@ func New(cfg Config) *Machine {
 // Close stops the parallel engine's worker goroutines, if any were started,
 // after materializing any deferred idle-chip bookkeeping (see step). It is
 // optional: an unreachable Machine releases the workers via a GC cleanup.
-// The machine must not be stepped after Close — the parallel chip phase
-// panics if it is.
+// Close is idempotent — a second Close (including one racing the GC
+// cleanup after a finished Run) is a harmless no-op. The machine must not
+// be stepped after Close — the parallel chip phase panics if it is.
 func (m *Machine) Close() {
+	if m.closed {
+		return
+	}
 	m.closed = true
 	if m.pool != nil {
 		m.pool.sync(m.Cycle)
@@ -177,6 +202,9 @@ func (m *Machine) StepAll() {
 		c.Step(now)
 	}
 	m.drainChipOutput(now)
+	for i := range m.Chips {
+		m.noteStepped(i)
+	}
 	m.Net.Step(now)
 	if m.pool != nil {
 		m.pool.wakeAllAt(now + 1)
@@ -227,6 +255,11 @@ func (m *Machine) step(parallel bool) {
 		// Only chips that stepped can have buffered output; drain exactly
 		// those, in node-index order.
 		m.pool.drainOutput(now)
+		for i := range m.pool.shards {
+			for _, node := range m.pool.shards[i].stepped {
+				m.noteStepped(int(node))
+			}
+		}
 	} else {
 		// Entering the serial chip phase with a pool alive: materialize any
 		// idle bookkeeping the active-set scheduler deferred, so Step's
@@ -234,14 +267,20 @@ func (m *Machine) step(parallel bool) {
 		if m.pool != nil {
 			m.pool.sync(now)
 		}
-		for _, c := range m.Chips {
+		stepped := m.steppedBuf[:0]
+		for i, c := range m.Chips {
 			if c.NextEvent(now) <= now {
 				c.Step(now)
+				stepped = append(stepped, i)
 			} else {
 				c.SkipCycles(1)
 			}
 		}
 		m.drainChipOutput(now)
+		for _, i := range stepped {
+			m.noteStepped(i)
+		}
+		m.steppedBuf = stepped
 	}
 	netStepped := false
 	if m.Net.NeedsStep(now) {
@@ -337,16 +376,68 @@ func (m *Machine) skip(d int64) {
 // UserDone reports whether every loaded user H-Thread has halted or
 // faulted.
 func (m *Machine) UserDone() bool {
-	for _, c := range m.Chips {
-		for vt := 0; vt < isa.NumUserSlots; vt++ {
-			for cl := 0; cl < isa.NumClusters; cl++ {
-				if c.Thread(vt, cl).Status == cluster.ThreadRunning {
-					return false
-				}
-			}
+	for i := range m.Chips {
+		if runningUserOf(m.Chips[i]) > 0 {
+			return false
 		}
 	}
 	return true
+}
+
+// runningUserOf counts a chip's running user H-Threads.
+func runningUserOf(c *chip.Chip) int {
+	n := 0
+	for vt := 0; vt < isa.NumUserSlots; vt++ {
+		for cl := 0; cl < isa.NumClusters; cl++ {
+			if c.Thread(vt, cl).Status == cluster.ThreadRunning {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// noteStepped refreshes chip i's cached activity contributions after it
+// stepped (its outbox must already be drained, so the quiescence check
+// sees the cross-cycle state). Chips that skip a cycle cannot change any
+// of the three quantities, so the loop head's totals stay exact while
+// only stepped chips are visited.
+func (m *Machine) noteStepped(i int) {
+	c := m.Chips[i]
+	if n := runningUserOf(c); n != m.chipRunning[i] {
+		m.runningUser += n - m.chipRunning[i]
+		m.chipRunning[i] = n
+	}
+	if b := !c.Quiescent(); b != m.chipBusy[i] {
+		if b {
+			m.busyChips++
+		} else {
+			m.busyChips--
+		}
+		m.chipBusy[i] = b
+	}
+	if v := c.InstsIssued; v != m.chipIssued[i] {
+		m.issuedTotal += v - m.chipIssued[i]
+		m.chipIssued[i] = v
+	}
+}
+
+// recomputeActive rebuilds the run-loop activity counters from scratch —
+// the O(nodes) pass Run and RunUntil pay once at entry (and Restore pays
+// once at commit) so that state mutated from outside the simulation is
+// observed; within a run noteStepped keeps them exact incrementally.
+func (m *Machine) recomputeActive() {
+	m.runningUser, m.busyChips, m.issuedTotal = 0, 0, 0
+	for i, c := range m.Chips {
+		m.chipRunning[i] = runningUserOf(c)
+		m.runningUser += m.chipRunning[i]
+		m.chipBusy[i] = !c.Quiescent()
+		if m.chipBusy[i] {
+			m.busyChips++
+		}
+		m.chipIssued[i] = c.InstsIssued
+		m.issuedTotal += c.InstsIssued
+	}
 }
 
 // Quiescent reports whether no node or the network has outstanding work.
@@ -386,22 +477,27 @@ func (m *Machine) Run(maxCycles int64) (int64, error) {
 	// per-chip cycle counts and stall statistics of the serial engines.
 	defer m.syncDeferred()
 	m.WakeAll()
+	m.recomputeActive()
 	start := m.Cycle
 	bound := start + maxCycles + quietWindow
 	idle := int64(0)
-	prevIssued := m.totalIssued()
+	prevIssued := m.issuedTotal
 	for m.Cycle < bound {
-		if m.UserDone() && m.Quiescent() {
-			if issued := m.totalIssued(); issued == prevIssued {
+		// The loop-head checks read the incrementally maintained activity
+		// counters (see noteStepped) — O(1) instead of the historical
+		// O(nodes) UserDone/Quiescent/totalIssued scans every busy cycle,
+		// and equal to them at every iteration by construction.
+		if m.runningUser == 0 && m.busyChips == 0 && m.Net.Quiescent() {
+			if m.issuedTotal == prevIssued {
 				idle++
 				if idle >= quietWindow {
 					return m.Cycle - start - idle, m.FaultError()
 				}
 			} else {
-				prevIssued, idle = issued, 0
+				prevIssued, idle = m.issuedTotal, 0
 			}
 		} else {
-			prevIssued, idle = m.totalIssued(), 0
+			prevIssued, idle = m.issuedTotal, 0
 		}
 		m.Step()
 		if !m.Naive {
@@ -431,8 +527,8 @@ func (m *Machine) fastForward(bound int64, idle *int64) {
 	if d <= 0 {
 		return
 	}
-	if m.UserDone() && m.Quiescent() {
-		// totalIssued cannot have changed (an issue would have set the
+	if m.runningUser == 0 && m.busyChips == 0 && m.Net.Quiescent() {
+		// issuedTotal cannot have changed (an issue would have set the
 		// issuing chip's NextEvent to the very next cycle), so every
 		// skipped iteration takes the idle++ branch.
 		room := quietWindow - *idle - 1
@@ -447,14 +543,6 @@ func (m *Machine) fastForward(bound int64, idle *int64) {
 		*idle = 0
 	}
 	m.skip(d)
-}
-
-func (m *Machine) totalIssued() uint64 {
-	var n uint64
-	for _, c := range m.Chips {
-		n += c.InstsIssued
-	}
-	return n
 }
 
 // WakeAll forces every chip to re-derive its next event on its coming
@@ -505,6 +593,7 @@ func (m *Machine) Rebalances() int64 {
 func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
 	m.syncDeferred() // pred may read per-chip state a prior Run deferred
 	m.WakeAll()
+	m.recomputeActive()
 	start := m.Cycle
 	for m.Cycle-start < maxCycles {
 		if pred() {

@@ -1,0 +1,296 @@
+// Package snap is the binary codec under the checkpoint/restore subsystem
+// (see DESIGN.md, "Checkpoint/restore"): a thin little-endian
+// writer/reader pair over io.Writer/io.Reader with sticky error handling,
+// so the per-package state encoders read as straight-line field lists
+// instead of error-plumbing.
+//
+// The codec is deliberately primitive — unsigned and signed 64-bit words,
+// booleans, length-prefixed byte strings and word slices — because the
+// snapshot format is defined entirely by the call sequence of the
+// encoders in each component package. Robustness against corrupt or
+// truncated input lives here: every length read is bounded by the caller
+// (Len), every primitive read fails cleanly at EOF, and the first error
+// sticks, so a decoder can run an entire field list and check Err once.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer serializes primitives to an io.Writer. The first write error
+// sticks; subsequent calls are no-ops.
+type Writer struct {
+	w       io.Writer
+	err     error
+	buf     [8]byte
+	scratch []byte   // reused bulk-transfer buffer (RawU64s)
+	stage   []uint64 // reused staging buffer (Stage)
+}
+
+// Stage returns a zeroed, reusable word buffer of length n for
+// assembling a bulk block that is immediately passed to RawU64s (which
+// copies it out before returning). The buffer is invalidated by the next
+// Stage call.
+func (w *Writer) Stage(n int) []uint64 {
+	if cap(w.stage) < n {
+		w.stage = make([]uint64, n)
+	}
+	s := w.stage[:n]
+	clear(s)
+	return s
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, nil if none.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// U64 writes an unsigned 64-bit word.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.write(w.buf[:])
+}
+
+// I64 writes a signed 64-bit word.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as a signed 64-bit word.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.write([]byte{b})
+}
+
+// Len writes a slice length (the counterpart of Reader.Len).
+func (w *Writer) Len(n int) { w.U64(uint64(n)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.Len(len(p))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
+
+// U64s writes a length-prefixed slice of unsigned words in one Write.
+func (w *Writer) U64s(vs []uint64) {
+	w.Len(len(vs))
+	w.RawU64s(vs)
+}
+
+// RawU64s writes the words of vs without a length prefix (for fixed-size
+// arrays whose length is implied by the format). The staging buffer is
+// reused across calls, so bulk sections (SDRAM chunks, register blocks)
+// do not allocate per call.
+func (w *Writer) RawU64s(vs []uint64) {
+	if w.err != nil || len(vs) == 0 {
+		return
+	}
+	if cap(w.scratch) < len(vs)*8 {
+		w.scratch = make([]byte, len(vs)*8)
+	}
+	buf := w.scratch[:len(vs)*8]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	w.write(buf)
+}
+
+// Bools writes a length-prefixed boolean slice packed as a bitmask, so a
+// register file's scoreboard or a pointer-tag column costs words, not
+// bytes-per-bit round trips.
+func (w *Writer) Bools(bs []bool) {
+	w.Len(len(bs))
+	words := w.Stage((len(bs) + 63) / 64)
+	for i, b := range bs {
+		if b {
+			words[i/64] |= 1 << (i % 64)
+		}
+	}
+	w.RawU64s(words)
+}
+
+// Reader deserializes primitives from an io.Reader. The first error
+// (including EOF, reported as an unexpected-EOF decode error) sticks, and
+// every subsequent read returns zero values.
+type Reader struct {
+	r       io.Reader
+	err     error
+	buf     [8]byte
+	scratch []byte   // reused bulk-transfer buffer (RawU64s)
+	stage   []uint64 // reused staging buffer (Stage)
+	memo    map[string]any
+}
+
+// Stage returns a reusable word buffer of length n for receiving a bulk
+// block via RawU64s. The buffer is invalidated by the next Stage call;
+// contents are unspecified until filled.
+func (r *Reader) Stage(n int) []uint64 {
+	if cap(r.stage) < n {
+		r.stage = make([]uint64, n)
+	}
+	return r.stage[:n]
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Memo returns per-stream scratch space for decoders that share work
+// across one stream — e.g. deduplicating identical embedded programs, so
+// restoring an n-node machine decodes each handler program once instead
+// of n times.
+func (r *Reader) Memo() map[string]any {
+	if r.memo == nil {
+		r.memo = make(map[string]any)
+	}
+	return r.memo
+}
+
+// Err returns the first read error, nil if none.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records err (if the reader has not already failed) so decoders can
+// surface validation errors through the same sticky channel.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("snap: truncated input")
+		}
+		r.err = err
+		return false
+	}
+	return true
+}
+
+// U64 reads an unsigned 64-bit word.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:])
+}
+
+// I64 reads a signed 64-bit word.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int stored as a signed 64-bit word.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a one-byte boolean.
+func (r *Reader) Bool() bool {
+	if !r.read(r.buf[:1]) {
+		return false
+	}
+	switch r.buf[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	r.Fail(fmt.Errorf("snap: bad boolean byte %#x", r.buf[0]))
+	return false
+}
+
+// Len reads a slice length and validates it against max, the caller's
+// structural bound; a corrupt count fails cleanly here instead of driving
+// a huge allocation or a runaway loop downstream.
+func (r *Reader) Len(max int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(max) {
+		r.Fail(fmt.Errorf("snap: count %d exceeds bound %d", n, max))
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice bounded by max.
+func (r *Reader) Bytes(max int) []byte {
+	n := r.Len(max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	if !r.read(p) {
+		return nil
+	}
+	return p
+}
+
+// String reads a length-prefixed string bounded by max bytes.
+func (r *Reader) String(max int) string { return string(r.Bytes(max)) }
+
+// U64s reads a length-prefixed word slice bounded by max entries.
+func (r *Reader) U64s(max int) []uint64 {
+	n := r.Len(max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	r.RawU64s(vs)
+	return vs
+}
+
+// Bools reads a boolean slice written by Writer.Bools, bounded by max
+// entries.
+func (r *Reader) Bools(max int) []bool {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	words := r.Stage((n + 63) / 64)
+	r.RawU64s(words)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = words[i/64]&(1<<(i%64)) != 0
+	}
+	return bs
+}
+
+// RawU64s fills dst with exactly len(dst) words (no length prefix). The
+// staging buffer is reused across calls.
+func (r *Reader) RawU64s(dst []uint64) {
+	if r.err != nil || len(dst) == 0 {
+		return
+	}
+	if cap(r.scratch) < len(dst)*8 {
+		r.scratch = make([]byte, len(dst)*8)
+	}
+	buf := r.scratch[:len(dst)*8]
+	if !r.read(buf) {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+}

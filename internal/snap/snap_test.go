@@ -1,0 +1,96 @@
+package snap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0xdeadbeefcafe)
+	w.I64(-42)
+	w.Int(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+	w.Bytes([]byte{1, 2, 3})
+	w.U64s([]uint64{9, 8, 7})
+	w.RawU64s([]uint64{5, 6})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.U64(); got != 0xdeadbeefcafe {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.String(16); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(16); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.U64s(16); len(got) != 3 || got[0] != 9 || got[2] != 7 {
+		t.Errorf("U64s = %v", got)
+	}
+	raw := make([]uint64, 2)
+	r.RawU64s(raw)
+	if raw[0] != 5 || raw[1] != 6 {
+		t.Errorf("RawU64s = %v", raw)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1)
+	w.String("payload")
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		r.U64()
+		r.String(64)
+		if err := r.Err(); err == nil {
+			t.Fatalf("truncation at %d of %d went undetected", cut, len(full))
+		} else if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestBoundsAndStickiness(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Len(1 << 40) // absurd count
+	w.U64(123)
+	r := NewReader(&buf)
+	if n := r.Len(1000); n != 0 || r.Err() == nil {
+		t.Fatalf("oversized count accepted: n=%d err=%v", n, r.Err())
+	}
+	first := r.Err()
+	// Sticky: later reads keep the first error and return zero values.
+	if got := r.U64(); got != 0 || r.Err() != first {
+		t.Errorf("error did not stick: got %d, err %v", got, r.Err())
+	}
+
+	// Bad boolean byte.
+	r2 := NewReader(bytes.NewReader([]byte{7}))
+	r2.Bool()
+	if r2.Err() == nil || !strings.Contains(r2.Err().Error(), "boolean") {
+		t.Errorf("bad boolean byte: err %v", r2.Err())
+	}
+}
