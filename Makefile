@@ -1,18 +1,20 @@
 # Build/verify entry points. `make ci` is the tier-1 gate plus a race pass
 # over the parallel engine (short mode: the full experiment determinism
-# matrix is too slow under the race detector's instrumentation), a
-# one-shot benchmark smoke pass (every benchmark runs once, so a panicking
-# or regressed-to-failure benchmark breaks CI without paying for
-# measurement), and a benchdiff over the two most recent BENCH_<n>.json
-# records (any metric delta or disappearance between records is a
-# determinism break, which fails; wall time is advisory only, compared
-# under a tolerance).
+# matrix is too slow under the race detector's instrumentation), the
+# checkpoint round-trip gate, an examples link pass, an end-to-end run of
+# every checked-in workload scenario (testdata/workloads/*.wl under
+# msim), a one-shot benchmark smoke pass (every benchmark runs once, so a
+# panicking or regressed-to-failure benchmark breaks CI without paying
+# for measurement), and a benchdiff over the two most recent
+# BENCH_<n>.json records (any metric delta or disappearance between
+# records is a determinism break, which fails; wall time is advisory
+# only, compared under a tolerance).
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup checkpoint bench-smoke bench benchdiff
+.PHONY: ci build vet test race speedup checkpoint examples wl bench-smoke bench benchdiff
 
-ci: build vet test race speedup checkpoint bench-smoke benchdiff
+ci: build vet test race speedup checkpoint examples wl bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -44,6 +46,21 @@ checkpoint:
 	$(GO) run ./cmd/msim -restore $$tmp/ci.snap testdata/fib.masm >$$tmp/b.out && \
 	grep -q 'i1  = 6765' $$tmp/b.out && echo "checkpoint: msim save/restore round trip OK"; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# Link every example binary (go build ./... only type-checks main
+# packages; this leg catches link-level breakage in examples/*).
+examples:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./examples/...; rc=$$?; \
+	rm -rf $$tmp; exit $$rc
+
+# Run every checked-in workload scenario end to end under msim: a parse
+# error, a failed expectation, or a phase divergence fails the gate.
+wl:
+	@for f in testdata/workloads/*.wl; do \
+		echo "msim -workload $$f"; \
+		$(GO) run ./cmd/msim -workload $$f >/dev/null || exit 1; \
+	done; echo "wl: all scenarios OK"
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

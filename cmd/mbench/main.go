@@ -13,6 +13,12 @@
 // experiments serially so each recorded wall time is that experiment's
 // own cost.
 //
+// Checked-in declarative workload scenarios (testdata/workloads/*.wl,
+// see docs/wdsl.md) are picked up as additional experiments named
+// wl-<file>; their per-phase simulated cycle counts are metrics like any
+// other, so the scenarios join the BENCH_<n>.json determinism
+// trajectory. -wl overrides the glob ("" disables the pickup).
+//
 // Usage:
 //
 //	mbench                # run everything
@@ -27,7 +33,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -216,10 +224,63 @@ var experiments = []experiment{
 	}},
 }
 
+// scenarioExperiments turns every .wl file matching glob into an
+// experiment: one metric per phase plus the total cycle count, all
+// simulated results and therefore part of the determinism trajectory.
+func scenarioExperiments(glob string) ([]experiment, error) {
+	if glob == "" {
+		return nil, nil
+	}
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var out []experiment
+	for _, path := range files {
+		path := path
+		base := strings.TrimSuffix(filepath.Base(path), ".wl")
+		sc, err := core.ScenarioFromFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, experiment{
+			name:  "wl-" + base,
+			title: fmt.Sprintf("W. workload scenario %s: %s", path, sc.Title()),
+			run: func() (string, []Metric, error) {
+				res, err := sc.Run(core.Options{})
+				if err != nil {
+					return "", nil, err
+				}
+				var b strings.Builder
+				var ms []Metric
+				fmt.Fprintf(&b, "%-16s %10s\n", "phase", "cycles")
+				for _, ph := range res.Phases {
+					fmt.Fprintf(&b, "%-16s %10d\n", ph.Name, ph.Cycles)
+					ms = append(ms, cyc(ph.Name+"_cycles", ph.Cycles))
+				}
+				fmt.Fprintf(&b, "%-16s %10d   (%d expectation(s) verified)\n",
+					"total", res.TotalCycles, res.Checks)
+				ms = append(ms, cyc("total_cycles", res.TotalCycles))
+				return b.String(), ms, nil
+			},
+		})
+	}
+	return out, nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by name")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (metrics + wall time per experiment)")
+	wlGlob := flag.String("wl", "testdata/workloads/*.wl", "glob of workload scenarios to run as experiments (\"\" disables)")
 	flag.Parse()
+
+	scenarios, err := scenarioExperiments(*wlGlob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbench: %v\n", err)
+		os.Exit(1)
+	}
+	experiments := append(experiments, scenarios...)
 
 	selected := experiments
 	if *exp != "" {
@@ -256,12 +317,11 @@ func main() {
 		}
 		results[i] = Result{
 			Name: e.name, Title: e.title,
-			WallNs: time.Since(start).Nanoseconds(),
+			WallNs:  time.Since(start).Nanoseconds(),
 			Metrics: ms, out: out,
 		}
 		return nil
 	}
-	var err error
 	if *jsonOut {
 		for i := range selected {
 			if err = runOne(i); err != nil {

@@ -1,21 +1,32 @@
-// Command msim assembles a MAP assembly file and runs it on a simulated
-// M-Machine, printing final register state and machine statistics.
+// Command msim runs programs on a simulated M-Machine: either a single
+// MAP assembly file loaded on one H-Thread slot, or a declarative
+// workload scenario (a .wl file, see docs/wdsl.md) describing a whole
+// multi-node, multi-phase experiment.
 //
 // Usage:
 //
-//	msim [-nodes N] [-node I] [-vthread V] [-cluster C] [-cycles MAX]
-//	     [-caching] [-trace] [-restore FILE] [-save FILE] prog.masm
+//	msim [flags] prog.masm          assemble and run one program
+//	msim -workload scenario.wl      compile and run a DSL scenario
 //
-// The program runs privileged (raw addressing) on the selected H-Thread
-// slot; the software runtime (LTLB miss, message, and fault handlers) is
-// installed on every node, and node i homes virtual words
-// [i*4096, (i+1)*4096).
+// Flags are grouped:
 //
-// -restore loads a machine snapshot (written by a previous -save) before
-// the program is loaded, so long scenarios can resume instead of
-// replaying from cycle 0; -save writes the post-run state. A snapshot
-// only restores into a machine with the same mesh and chip
-// configuration.
+//	run control:  -nodes -node -vthread -cluster -cycles -trace
+//	engine:       -naive -workers -caching
+//	snapshot:     -save -restore
+//	workload:     -workload
+//
+// In single-program mode the program runs privileged (raw addressing) on
+// the selected H-Thread slot; the software runtime (LTLB miss, message,
+// and fault handlers) is installed on every node, and node i homes
+// virtual words [i*4096, (i+1)*4096). -restore loads a machine snapshot
+// (written by a previous -save) before the program is loaded; -save
+// writes the post-run state. A snapshot only restores into a machine
+// with the same mesh and chip configuration.
+//
+// In workload mode the mesh shape, caching mode, cycle budgets, and
+// placement all come from the scenario file, so -nodes/-node/-vthread/
+// -cluster/-cycles and the snapshot flags do not combine with -workload;
+// the engine flags (-naive, -workers) and -trace do.
 package main
 
 import (
@@ -27,20 +38,62 @@ import (
 	"repro/internal/trace"
 )
 
+// flagGroups drives the grouped -h output: every flag msim defines is
+// listed here under the group it belongs to.
+var flagGroups = []struct {
+	name  string
+	flags []string
+}{
+	{"run control", []string{"nodes", "node", "vthread", "cluster", "cycles", "trace"}},
+	{"engine", []string{"naive", "workers", "caching"}},
+	{"snapshot", []string{"save", "restore"}},
+	{"workload", []string{"workload"}},
+}
+
 func main() {
+	// Run control.
 	nodes := flag.Int("nodes", 2, "number of nodes (x-axis mesh)")
 	node := flag.Int("node", 0, "node to load the program on")
 	vthread := flag.Int("vthread", 0, "V-Thread slot (0-3)")
 	clusterID := flag.Int("cluster", 0, "cluster (0-3)")
 	cycles := flag.Int64("cycles", 1_000_000, "cycle budget")
-	caching := flag.Bool("caching", false, "cache remote data in local DRAM")
 	showTrace := flag.Bool("trace", false, "print the event trace")
+	// Engine.
+	naive := flag.Bool("naive", false, "use the reference per-cycle loop instead of the event engine")
+	workers := flag.Int("workers", 0, "parallel chip engine worker count (0 serial, -1 all cores)")
+	caching := flag.Bool("caching", false, "cache remote data in local DRAM")
+	// Snapshot.
 	restorePath := flag.String("restore", "", "restore machine state from this snapshot before running")
 	savePath := flag.String("save", "", "write a machine snapshot to this file after the run")
+	// Workload.
+	workloadPath := flag.String("workload", "", "run a declarative workload scenario (.wl file)")
+
+	flag.Usage = usage
 	flag.Parse()
 
+	engine := core.Options{NaiveEngine: *naive, Workers: *workers}
+	if *workloadPath != "" {
+		if flag.NArg() != 0 {
+			usageErr("-workload runs a scenario file; the positional program argument does not apply")
+		}
+		// The scenario file owns the mesh, placement, caching mode, and
+		// cycle budgets; reject any explicitly-set flag it would silently
+		// override rather than drop the user's request on the floor.
+		incompatible := map[string]bool{
+			"nodes": true, "node": true, "vthread": true, "cluster": true,
+			"cycles": true, "caching": true, "save": true, "restore": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				usageErr("-%s does not combine with -workload (the scenario file defines it)", f.Name)
+			}
+		})
+		runWorkload(*workloadPath, engine, *showTrace)
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: msim [flags] prog.masm")
+		fmt.Fprintln(os.Stderr, "usage: msim [flags] prog.masm | msim -workload scenario.wl")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,10 +116,14 @@ func main() {
 		fatal(err)
 	}
 
-	s, err := core.NewSim(core.Options{Nodes: *nodes, Caching: *caching})
+	o := engine
+	o.Nodes = *nodes
+	o.Caching = *caching
+	s, err := core.NewSim(o)
 	if err != nil {
 		fatal(err)
 	}
+	defer s.M.Close()
 	if *restorePath != "" {
 		f, err := os.Open(*restorePath)
 		if err != nil {
@@ -94,9 +151,7 @@ func main() {
 			fmt.Printf("  i%-2d = %-20d %#x\n", i, int64(v), v)
 		}
 	}
-	st := s.Stats()
-	fmt.Printf("\nstats: %d instructions, %d ops, %d messages, %d LTLB faults, %d status faults, %d sync faults\n",
-		st.Instructions, st.Operations, st.MsgsInjected, st.LTLBFaults, st.StatusFaults, st.SyncFaults)
+	printStats(s)
 
 	for i := 0; i < *nodes; i++ {
 		if out := s.M.Chip(i).Console.String(); out != "" {
@@ -117,6 +172,70 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// runWorkload compiles and runs a .wl scenario, printing the per-phase
+// cycle counts, the verified expectations, and machine statistics.
+func runWorkload(path string, engine core.Options, showTrace bool) {
+	sc, err := core.ScenarioFromFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, s, err := sc.RunSim(engine)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s\n", sc.Title())
+	fmt.Printf("mesh:     %dx%dx%d", sc.Plan.Dims[0], sc.Plan.Dims[1], sc.Plan.Dims[2])
+	if sc.Plan.Caching {
+		fmt.Print(", caching on")
+	}
+	fmt.Println()
+	fmt.Println()
+	for _, ph := range res.Phases {
+		fmt.Printf("  phase %-12s %10d cycles\n", ph.Name, ph.Cycles)
+	}
+	fmt.Printf("  %-18s %10d cycles\n", "total", res.TotalCycles)
+	fmt.Printf("\n%d expectation(s) verified\n", res.Checks)
+	printStats(s)
+	for i := 0; i < s.M.NumNodes(); i++ {
+		if out := s.M.Chip(i).Console.String(); out != "" {
+			fmt.Printf("\nconsole (node %d):\n%s", i, out)
+		}
+	}
+	if showTrace {
+		fmt.Println("\ntrace:")
+		fmt.Print(trace.Timeline(s.Recorder.Events))
+	}
+}
+
+// printStats renders the machine statistics line shared by both modes.
+func printStats(s *core.Sim) {
+	st := s.Stats()
+	fmt.Printf("\nstats: %d instructions, %d ops, %d messages, %d LTLB faults, %d status faults, %d sync faults\n",
+		st.Instructions, st.Operations, st.MsgsInjected, st.LTLBFaults, st.StatusFaults, st.SyncFaults)
+}
+
+// usage prints the grouped flag reference.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "usage: msim [flags] prog.masm\n")
+	fmt.Fprintf(w, "       msim [engine flags] [-trace] -workload scenario.wl\n")
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "\n%s:\n", g.name)
+		for _, name := range g.flags {
+			f := flag.Lookup(name)
+			if f == nil {
+				continue
+			}
+			def := ""
+			if f.DefValue != "" && f.DefValue != "false" {
+				def = fmt.Sprintf(" (default %s)", f.DefValue)
+			}
+			fmt.Fprintf(w, "  -%-10s %s%s\n", f.Name, f.Usage, def)
+		}
+	}
+	fmt.Fprintf(w, "\nSee docs/wdsl.md for the workload scenario language.\n")
 }
 
 // saveSnapshot writes the machine state to path atomically enough for a

@@ -10,6 +10,16 @@
 //	sim.LoadASM(0, 0, 0, "movi i1, #6\nmul i2, i1, #7\nhalt")
 //	sim.Run(10000)
 //	fmt.Println(sim.Reg(0, 0, 0, 2)) // 42
+//
+// Beyond building and driving machines (LoadASM/LoadUserASM/LoadProgram,
+// Run/RunUntil, Poke/Peek, Stats), the facade exposes the checkpoint
+// subsystem — Sim.Save writes a versioned snapshot of the complete
+// simulation state, Sim.Restore replaces a compatible machine's state
+// all-or-nothing, and Sim.Fork clones a simulator for what-if runs from
+// a common prefix (see snapshot.go and DESIGN.md, "Checkpoint/restore")
+// — and the declarative workload scenarios: ScenarioFromDSL /
+// ScenarioFromFile compile .wl files (docs/wdsl.md) and Scenario.Run
+// executes them with per-phase cycle accounting (wdsl.go).
 package core
 
 import (

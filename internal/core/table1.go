@@ -31,6 +31,7 @@ const (
 	numAccessClasses
 )
 
+// String names the access class as Table 1 prints it.
 func (a AccessClass) String() string {
 	switch a {
 	case LocalCacheHit:

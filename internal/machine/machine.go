@@ -1,6 +1,22 @@
 // Package machine assembles a complete M-Machine: a 3-D mesh of MAP nodes
 // (Figure 1), the shared global destination table, and the deterministic
 // cycle loop that advances every node and the network in lock step.
+//
+// The lifecycle is New(Config) -> load programs / map pages -> Run (or
+// Step/StepAll/RunUntil) -> Close. Three engines execute the cycle loop
+// — the naive per-cycle reference (Naive=true / StepAll), the default
+// event-driven engine with idle fast-forward, and the goroutine-sharded
+// parallel engine (Config.Workers) — and they are bit-identical in every
+// observable way; see DESIGN.md ("The cycle engine", "The parallel
+// engine").
+//
+// Machines checkpoint: Save serializes the complete simulation state to
+// a versioned stream, Restore replaces a compatible machine's state
+// all-or-nothing (a corrupt or mismatched stream errors and leaves the
+// machine untouched), and Fork clones a machine through an in-memory
+// snapshot for what-if runs. Snapshots are engine-agnostic: a stream
+// saved under one engine restores and continues bit-identically under
+// any other (DESIGN.md, "Checkpoint/restore").
 package machine
 
 import (

@@ -1,0 +1,296 @@
+package wdsl
+
+// The DSL's integer expression language. Expressions appear as directive
+// arguments (`run ITERS*200+10000`, `expect mem addr=home(0)+1536 ...`)
+// and inside `{...}` substitutions of program templates. The grammar is
+// conventional:
+//
+//	expr    := term  (('+' | '-') term)*
+//	term    := unary (('*' | '/' | '%' | '<<' | '>>') unary)*
+//	unary   := '-' unary | primary
+//	primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Identifiers name `const` declarations, `repeat` loop variables, and the
+// builtin bindings nodes, node (inside per-node program templates), dip,
+// and dipsync. Builtin functions: home(n) — the first virtual word homed
+// on node n; xor(a,b); min(a,b); max(a,b). All arithmetic is int64;
+// division or modulus by zero and out-of-range shifts are positional
+// errors, never panics.
+
+// Expr is a parsed expression; Eval computes it under an EvalEnv.
+type Expr interface {
+	Pos() Pos
+}
+
+type numExpr struct {
+	p Pos
+	v int64
+}
+
+type identExpr struct {
+	p    Pos
+	name string
+}
+
+type callExpr struct {
+	p    Pos
+	fn   string
+	args []Expr
+}
+
+type unaryExpr struct {
+	p Pos
+	x Expr
+}
+
+type binExpr struct {
+	p    Pos
+	op   string
+	x, y Expr
+}
+
+func (e *numExpr) Pos() Pos   { return e.p }
+func (e *identExpr) Pos() Pos { return e.p }
+func (e *callExpr) Pos() Pos  { return e.p }
+func (e *unaryExpr) Pos() Pos { return e.p }
+func (e *binExpr) Pos() Pos   { return e.p }
+
+// EvalEnv supplies the bindings an expression may reference. Vars holds
+// named integer bindings (consts, loop variables, node/nodes/dip/dipsync).
+// Home resolves home(n); when nil, home() is reported as unavailable in
+// the current context (e.g. inside const declarations, which must be
+// static).
+type EvalEnv struct {
+	File string
+	Vars map[string]int64
+	Home func(n int64) (int64, error)
+}
+
+// Eval computes e under env. Every failure is a positional *Error.
+func Eval(e Expr, env *EvalEnv) (int64, error) {
+	switch e := e.(type) {
+	case *numExpr:
+		return e.v, nil
+	case *identExpr:
+		v, ok := env.Vars[e.name]
+		if !ok {
+			return 0, errAt(env.File, e.p, "unknown identifier %q", e.name)
+		}
+		return v, nil
+	case *unaryExpr:
+		v, err := Eval(e.x, env)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case *callExpr:
+		args := make([]int64, len(e.args))
+		for i, a := range e.args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return evalCall(e, args, env)
+	case *binExpr:
+		x, err := Eval(e.x, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := Eval(e.y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, errAt(env.File, e.p, "division by zero")
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, errAt(env.File, e.p, "modulus by zero")
+			}
+			return x % y, nil
+		case "<<", ">>":
+			if y < 0 || y > 63 {
+				return 0, errAt(env.File, e.p, "shift count %d out of range [0, 63]", y)
+			}
+			if e.op == "<<" {
+				return x << uint(y), nil
+			}
+			return x >> uint(y), nil
+		}
+	}
+	return 0, errAt(env.File, e.Pos(), "internal: unhandled expression")
+}
+
+// evalCall dispatches the builtin functions.
+func evalCall(e *callExpr, args []int64, env *EvalEnv) (int64, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return errAt(env.File, e.p, "%s() wants %d argument(s), got %d", e.fn, n, len(args))
+		}
+		return nil
+	}
+	switch e.fn {
+	case "home":
+		if err := arity(1); err != nil {
+			return 0, err
+		}
+		if env.Home == nil {
+			return 0, errAt(env.File, e.p, "home() is not available in this context")
+		}
+		v, err := env.Home(args[0])
+		if err != nil {
+			return 0, errAt(env.File, e.p, "%v", err)
+		}
+		return v, nil
+	case "xor":
+		if err := arity(2); err != nil {
+			return 0, err
+		}
+		return args[0] ^ args[1], nil
+	case "min":
+		if err := arity(2); err != nil {
+			return 0, err
+		}
+		return min(args[0], args[1]), nil
+	case "max":
+		if err := arity(2); err != nil {
+			return 0, err
+		}
+		return max(args[0], args[1]), nil
+	}
+	return 0, errAt(env.File, e.p, "unknown function %q (builtins: home, xor, min, max)", e.fn)
+}
+
+// parseExpr parses a greedy expression from the cursor: it consumes
+// tokens as long as they can extend the expression, so `node=0 addr=...`
+// stops cleanly at the next key.
+func parseExpr(t *toks) (Expr, error) {
+	x, err := parseTerm(t)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tk := t.peek()
+		if tk.kind != tokPunct || tk.text != "+" && tk.text != "-" {
+			return x, nil
+		}
+		t.next()
+		y, err := parseTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{p: tk.pos, op: tk.text, x: x, y: y}
+	}
+}
+
+func parseTerm(t *toks) (Expr, error) {
+	x, err := parseUnary(t)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tk := t.peek()
+		if tk.kind != tokPunct {
+			return x, nil
+		}
+		switch tk.text {
+		case "*", "/", "%", "<<", ">>":
+		default:
+			return x, nil
+		}
+		t.next()
+		y, err := parseUnary(t)
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{p: tk.pos, op: tk.text, x: x, y: y}
+	}
+}
+
+func parseUnary(t *toks) (Expr, error) {
+	tk := t.peek()
+	if tk.kind == tokPunct && tk.text == "-" {
+		t.next()
+		x, err := parseUnary(t)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{p: tk.pos, x: x}, nil
+	}
+	return parsePrimary(t)
+}
+
+func parsePrimary(t *toks) (Expr, error) {
+	tk := t.peek()
+	switch tk.kind {
+	case tokNumber:
+		t.next()
+		return &numExpr{p: tk.pos, v: tk.ival}, nil
+	case tokIdent:
+		t.next()
+		if p := t.peek(); p.kind == tokPunct && p.text == "(" {
+			t.next()
+			call := &callExpr{p: tk.pos, fn: tk.text}
+			for {
+				arg, err := parseExpr(t)
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, arg)
+				p := t.peek()
+				if p.kind == tokPunct && p.text == "," {
+					t.next()
+					continue
+				}
+				break
+			}
+			if err := t.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &identExpr{p: tk.pos, name: tk.text}, nil
+	case tokPunct:
+		if tk.text == "(" {
+			t.next()
+			x, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errAt(t.file, tk.pos, "expected expression, got %s", tk.describe())
+}
+
+// parseExprString parses a complete expression from a standalone string
+// (a {...} template substitution); the whole string must be consumed.
+func parseExprString(file string, line, col0 int, s string) (Expr, error) {
+	list, err := lexLine(file, line, col0, s)
+	if err != nil {
+		return nil, err
+	}
+	t := &toks{file: file, list: list}
+	e, err := parseExpr(t)
+	if err != nil {
+		return nil, err
+	}
+	if tk := t.peek(); tk.kind != tokEOL {
+		return nil, errAt(file, tk.pos, "unexpected %s in expression", tk.describe())
+	}
+	return e, nil
+}

@@ -1,0 +1,207 @@
+package wdsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pos is a source position inside a .wl file, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// Error is a positional DSL error. Every failure the parser, validator,
+// or evaluator reports carries the file name and the 1-based line:col of
+// the offending token, so `msim -workload bad.wl` diagnostics point at
+// the exact character.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// errAt builds a positional error.
+func errAt(file string, pos Pos, format string, args ...any) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind enumerates lexical token classes.
+type tokKind int
+
+const (
+	tokEOL    tokKind = iota // end of the directive line
+	tokIdent                 // identifier / keyword
+	tokNumber                // integer literal (decimal or 0x hex)
+	tokFloat                 // floating-point literal (digits '.' digits)
+	tokString                // "quoted string"
+	tokPunct                 // = ( ) , + - * / % << >> ..
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOL:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	}
+	return "punctuation"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	pos  Pos
+}
+
+// lexLine tokenizes one directive line. col0 is the 1-based column of
+// text[0] in the original source line (used when tokenizing a {expr}
+// substring of a template line). A ';' starts a comment running to the
+// end of the line.
+func lexLine(file string, line int, col0 int, text string) ([]token, error) {
+	var toks []token
+	i := 0
+	pos := func() Pos { return Pos{line, col0 + i} }
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == ';':
+			i = len(text) // comment
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '"':
+			p := pos()
+			j := strings.IndexByte(text[i+1:], '"')
+			if j < 0 {
+				return nil, errAt(file, p, "unterminated string")
+			}
+			toks = append(toks, token{kind: tokString, text: text[i+1 : i+1+j], pos: p})
+			i += j + 2
+		case c >= '0' && c <= '9':
+			p := pos()
+			j := i
+			for j < len(text) && isNumChar(text[j]) {
+				j++
+			}
+			lit := text[i:j]
+			if strings.ContainsAny(lit, ".") && !strings.HasPrefix(lit, "0x") {
+				f, err := strconv.ParseFloat(lit, 64)
+				if err != nil {
+					return nil, errAt(file, p, "bad number %q", lit)
+				}
+				toks = append(toks, token{kind: tokFloat, text: lit, fval: f, pos: p})
+			} else {
+				v, err := strconv.ParseInt(lit, 0, 64)
+				if err != nil {
+					return nil, errAt(file, p, "bad number %q", lit)
+				}
+				toks = append(toks, token{kind: tokNumber, text: lit, ival: v, pos: p})
+			}
+			i = j
+		case isIdentChar(c):
+			p := pos()
+			j := i
+			for j < len(text) && (isIdentChar(text[j]) || text[j] >= '0' && text[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: text[i:j], pos: p})
+			i = j
+		default:
+			p := pos()
+			two := ""
+			if i+1 < len(text) {
+				two = text[i : i+2]
+			}
+			switch two {
+			case "<<", ">>", "..":
+				toks = append(toks, token{kind: tokPunct, text: two, pos: p})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '(', ')', ',', '+', '-', '*', '/', '%':
+				toks = append(toks, token{kind: tokPunct, text: string(c), pos: p})
+				i++
+			default:
+				return nil, errAt(file, p, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOL, pos: pos()})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == 'x' || c == 'X' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// toks is a token cursor over one directive line.
+type toks struct {
+	file string
+	list []token
+	i    int
+}
+
+func (t *toks) peek() token { return t.list[t.i] }
+
+func (t *toks) next() token {
+	tk := t.list[t.i]
+	if tk.kind != tokEOL {
+		t.i++
+	}
+	return tk
+}
+
+// expectPunct consumes the given punctuation token or fails with an
+// expected-token message.
+func (t *toks) expectPunct(p string) error {
+	tk := t.peek()
+	if tk.kind != tokPunct || tk.text != p {
+		return errAt(t.file, tk.pos, "expected %q, got %s", p, tk.describe())
+	}
+	t.next()
+	return nil
+}
+
+// expectIdent consumes an identifier and returns it.
+func (t *toks) expectIdent() (token, error) {
+	tk := t.peek()
+	if tk.kind != tokIdent {
+		return tk, errAt(t.file, tk.pos, "expected identifier, got %s", tk.describe())
+	}
+	return t.next(), nil
+}
+
+// expectEOL fails unless the line is exhausted.
+func (t *toks) expectEOL() error {
+	tk := t.peek()
+	if tk.kind != tokEOL {
+		return errAt(t.file, tk.pos, "unexpected %s after directive", tk.describe())
+	}
+	return nil
+}
+
+func (tk token) describe() string {
+	if tk.kind == tokEOL {
+		return "end of line"
+	}
+	return fmt.Sprintf("%q", tk.text)
+}

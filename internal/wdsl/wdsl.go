@@ -1,0 +1,791 @@
+// Package wdsl parses the declarative workload DSL: a small text format
+// (conventionally *.wl files) describing a mesh machine, data placement,
+// message patterns, compute phases, and expected results, which
+// internal/workload lowers onto the existing program generators and the
+// MAP assembler. See docs/wdsl.md for the language reference and
+// DESIGN.md ("The workload DSL") for the lowering pipeline and its
+// determinism guarantees.
+//
+// A scenario file reads like this fragment of
+// testdata/workloads/ringreduce.wl (abridged: the full file also
+// declares the mailbox-touch staging phase and node 0's seed program,
+// without which the relays below would wait forever):
+//
+//	workload "ring all-reduce"
+//	mesh 4
+//	const MB 320
+//
+//	program relay
+//	    movi i4, #{home(node) + MB}
+//	    ldsy.fe i5, [i4]
+//	    add i5, i5, #{node + 1}
+//	    movi i1, #{home((node + 1) % nodes) + MB}
+//	    movi i2, #{dipsync}
+//	    send i1, i2, i5, #1
+//	    halt
+//	end
+//
+//	load relay on nodes 1 nodes-1
+//	run 300000
+//	expect reg node=0 reg=5 value=nodes*(nodes+1)/2
+//
+// The package only parses and evaluates; it knows nothing about the
+// simulator. Parse produces a *File (the AST), and every syntactic or
+// semantic failure — here and in the downstream lowering — is a
+// positional *Error ("file:line:col: message"), never a panic.
+package wdsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is the parsed form of one .wl scenario.
+type File struct {
+	Name    string // diagnostics name (usually the file path)
+	Title   string // from the workload directive; "" if absent
+	Mesh    [3]int // X, Y, Z; zero if no mesh directive was present
+	MeshPos Pos
+	// MeshDimPos holds each dimension token's position (the directive's
+	// position for defaulted trailing dims), so range errors in the
+	// lowering can point at the offending number.
+	MeshDimPos [3]Pos
+	Caching    bool
+	Consts     []Const
+	// Programs in declaration order; Lookup finds one by name.
+	Programs []*ProgramDecl
+	Steps    []*Step
+}
+
+// Lookup returns the named program declaration, or nil.
+func (f *File) Lookup(name string) *ProgramDecl {
+	for _, p := range f.Programs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Const is one named constant declaration.
+type Const struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// ProgramDecl declares a loadable program: either an inline MAP assembly
+// template (Body != nil) or a generator invocation (Gen != nil).
+type ProgramDecl struct {
+	Pos  Pos
+	Name string
+	Gen  *GenSpec
+	Body []TemplNode
+}
+
+// GenSpec names one of the built-in workload generators
+// (internal/workload) with its keyword arguments; the lowering in
+// workload.FromDSL resolves the kind.
+type GenSpec struct {
+	Pos    Pos
+	Kind   string
+	Args   map[string]Expr
+	ArgPos map[string]Pos
+}
+
+// TemplNode is one node of a program template body: a TemplLine or a
+// Repeat block.
+type TemplNode interface{ templNode() }
+
+// TemplLine is one assembly source line, split at {expr} substitutions.
+type TemplLine struct {
+	Pos   Pos
+	Parts []TemplPart
+}
+
+// TemplPart is a literal run or one substitution expression.
+type TemplPart struct {
+	Lit  string
+	Expr Expr // non-nil for a substitution
+}
+
+// Repeat is an unrolled loop: Body is instantiated once per value of Var
+// in [Lo, Hi] inclusive.
+type Repeat struct {
+	Pos    Pos
+	Var    string
+	Lo, Hi Expr
+	Body   []TemplNode
+}
+
+func (*TemplLine) templNode() {}
+func (*Repeat) templNode()    {}
+
+// StepKind enumerates the scenario step directives.
+type StepKind int
+
+const (
+	StepLoad     StepKind = iota // load a program onto one or more nodes
+	StepRun                      // advance the machine under a cycle budget
+	StepPoke                     // write a word of a node's memory
+	StepMapLocal                 // prime a local read/write page mapping
+	StepExpect                   // post-run assertion on a register or word
+	StepCheck                    // builtin whole-workload verification
+)
+
+// Step is one scenario step, in file order. Which fields are meaningful
+// depends on Kind; unset expressions are nil.
+type Step struct {
+	Pos  Pos
+	Kind StepKind
+
+	// StepLoad
+	Prog           string
+	ProgPos        Pos
+	OnAll          bool
+	NodeLo, NodeHi Expr // single node when NodeHi == nil
+	VThread        Expr // nil = 0
+	Cluster        Expr // nil = 0
+
+	// StepRun
+	Phase  string // from the preceding phase directive, or ""
+	Budget Expr
+
+	// StepPoke / StepExpect / StepMapLocal
+	Node       Expr
+	Addr       Expr
+	Value      Expr
+	Float      *float64 // float= form of poke / expect fmem
+	Reg        Expr
+	Page       Expr
+	ExpectKind string // "reg", "mem", or "fmem"
+
+	// StepCheck
+	CheckKind string
+	Args      map[string]Expr
+	ArgPos    map[string]Pos
+}
+
+// Parse parses .wl source. name is used in diagnostics (pass the file
+// path). The returned File is syntactically sound; semantic validation
+// (mesh ranges, program references, argument sets) happens during
+// lowering in workload.FromDSL so that it can use the machine limits.
+func Parse(name, src string) (*File, error) {
+	p := &parser{
+		file:  name,
+		f:     &File{Name: name},
+		lines: strings.Split(src, "\n"),
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+type parser struct {
+	file  string
+	f     *File
+	lines []string
+	i     int    // current line index
+	phase string // pending phase name for the next run step
+}
+
+func (p *parser) run() error {
+	seen := map[string]Pos{}
+	for p.i = 0; p.i < len(p.lines); p.i++ {
+		t, empty, err := p.lexCurrent()
+		if err != nil {
+			return err
+		}
+		if empty {
+			continue
+		}
+		kw, err := t.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch kw.text {
+		case "workload":
+			if err := p.parseWorkload(t); err != nil {
+				return err
+			}
+		case "mesh":
+			if err := p.parseMesh(t, kw.pos); err != nil {
+				return err
+			}
+		case "caching":
+			if err := p.parseCaching(t); err != nil {
+				return err
+			}
+		case "const":
+			if err := p.parseConst(t); err != nil {
+				return err
+			}
+		case "program", "generate":
+			decl, err := p.parseProgram(t, kw)
+			if err != nil {
+				return err
+			}
+			if prev, dup := seen[decl.Name]; dup {
+				return errAt(p.file, decl.Pos, "program %q already declared on line %d", decl.Name, prev.Line)
+			}
+			seen[decl.Name] = decl.Pos
+			p.f.Programs = append(p.f.Programs, decl)
+		case "phase":
+			nameTok, err := t.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := t.expectEOL(); err != nil {
+				return err
+			}
+			p.phase = nameTok.text
+		case "maplocal", "poke", "load", "run", "expect", "check":
+			step, err := p.parseStep(t, kw)
+			if err != nil {
+				return err
+			}
+			p.f.Steps = append(p.f.Steps, step)
+		case "end":
+			return errAt(p.file, kw.pos, "'end' outside a program or repeat block")
+		case "repeat":
+			return errAt(p.file, kw.pos, "'repeat' is only valid inside a program block")
+		default:
+			return errAt(p.file, kw.pos,
+				"unknown directive %q (expected workload, mesh, caching, const, program, generate, phase, maplocal, poke, load, run, expect, or check)", kw.text)
+		}
+	}
+	return nil
+}
+
+// lexCurrent tokenizes the current line; empty reports a blank or
+// comment-only line.
+func (p *parser) lexCurrent() (*toks, bool, error) {
+	list, err := lexLine(p.file, p.i+1, 1, p.lines[p.i])
+	if err != nil {
+		return nil, false, err
+	}
+	if list[0].kind == tokEOL {
+		return nil, true, nil
+	}
+	return &toks{file: p.file, list: list}, false, nil
+}
+
+func (p *parser) parseWorkload(t *toks) error {
+	tk := t.peek()
+	switch tk.kind {
+	case tokString, tokIdent:
+		t.next()
+		p.f.Title = tk.text
+	default:
+		return errAt(p.file, tk.pos, "expected workload title (string or identifier), got %s", tk.describe())
+	}
+	return t.expectEOL()
+}
+
+func (p *parser) parseMesh(t *toks, pos Pos) error {
+	if p.f.Mesh != [3]int{} {
+		return errAt(p.file, pos, "duplicate mesh directive")
+	}
+	dims := [3]int{1, 1, 1}
+	dimPos := [3]Pos{pos, pos, pos}
+	for i := 0; i < 3; i++ {
+		tk := t.peek()
+		if tk.kind == tokEOL {
+			if i == 0 {
+				return errAt(p.file, tk.pos, "mesh wants 1-3 integer dimensions")
+			}
+			break
+		}
+		if tk.kind != tokNumber {
+			return errAt(p.file, tk.pos, "mesh dimensions must be integer literals, got %s", tk.describe())
+		}
+		t.next()
+		dims[i] = int(tk.ival)
+		dimPos[i] = tk.pos
+	}
+	if err := t.expectEOL(); err != nil {
+		return err
+	}
+	p.f.Mesh = dims
+	p.f.MeshPos = pos
+	p.f.MeshDimPos = dimPos
+	return nil
+}
+
+func (p *parser) parseCaching(t *toks) error {
+	tk, err := t.expectIdent()
+	if err != nil {
+		return err
+	}
+	switch tk.text {
+	case "on":
+		p.f.Caching = true
+	case "off":
+		p.f.Caching = false
+	default:
+		return errAt(p.file, tk.pos, "caching wants 'on' or 'off', got %q", tk.text)
+	}
+	return t.expectEOL()
+}
+
+func (p *parser) parseConst(t *toks) error {
+	name, err := t.expectIdent()
+	if err != nil {
+		return err
+	}
+	e, err := parseExpr(t)
+	if err != nil {
+		return err
+	}
+	if err := t.expectEOL(); err != nil {
+		return err
+	}
+	p.f.Consts = append(p.f.Consts, Const{Pos: name.pos, Name: name.text, Expr: e})
+	return nil
+}
+
+// parseProgram handles both `program NAME ... end` template blocks and
+// one-line `generate NAME KIND key=expr ...` declarations.
+func (p *parser) parseProgram(t *toks, kw token) (*ProgramDecl, error) {
+	name, err := t.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	decl := &ProgramDecl{Pos: name.pos, Name: name.text}
+	if kw.text == "generate" {
+		kind, err := t.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		args, argPos, err := p.parseKeyArgs(t, nil)
+		if err != nil {
+			return nil, err
+		}
+		decl.Gen = &GenSpec{Pos: kind.pos, Kind: kind.text, Args: args, ArgPos: argPos}
+		return decl, nil
+	}
+	if err := t.expectEOL(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseTemplBody(name.pos)
+	if err != nil {
+		return nil, err
+	}
+	decl.Body = body
+	return decl, nil
+}
+
+// parseTemplBody consumes template lines until the matching 'end',
+// handling nested repeat blocks. The opening directive is on p.i; the
+// body starts on the next line. On return p.i is the 'end' line.
+func (p *parser) parseTemplBody(open Pos) ([]TemplNode, error) {
+	var body []TemplNode
+	for {
+		p.i++
+		if p.i >= len(p.lines) {
+			return nil, errAt(p.file, open, "block is never closed ('end' missing before end of file)")
+		}
+		raw := p.lines[p.i]
+		lineNo := p.i + 1
+		word, wordCol := firstWord(raw)
+		switch word {
+		case "end":
+			if rest := strings.TrimSpace(stripComment(raw)[wordCol-1+len("end"):]); rest != "" {
+				return nil, errAt(p.file, Pos{lineNo, wordCol + 4}, "unexpected text after 'end'")
+			}
+			return body, nil
+		case "repeat":
+			t, _, err := p.lexCurrent()
+			if err != nil {
+				return nil, err
+			}
+			t.next() // 'repeat'
+			v, err := t.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expectPunct("="); err != nil {
+				return nil, err
+			}
+			lo, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expectPunct(".."); err != nil {
+				return nil, err
+			}
+			hi, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expectEOL(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseTemplBody(Pos{lineNo, wordCol})
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, &Repeat{Pos: Pos{lineNo, wordCol}, Var: v.text, Lo: lo, Hi: hi, Body: inner})
+		default:
+			line, err := p.parseTemplLine(lineNo, raw)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, line)
+		}
+	}
+}
+
+// parseTemplLine splits one raw assembly line into literal runs and
+// {expr} substitutions. A trailing ';' comment passes through verbatim —
+// braces inside comments are prose, not substitutions.
+func (p *parser) parseTemplLine(lineNo int, raw string) (*TemplLine, error) {
+	line := &TemplLine{Pos: Pos{lineNo, 1}}
+	rest := raw
+	var comment string
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		rest, comment = raw[:i], raw[i:]
+	}
+	col := 1
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			if strings.IndexByte(rest, '}') >= 0 {
+				return nil, errAt(p.file, Pos{lineNo, col + strings.IndexByte(rest, '}')}, "'}' without matching '{'")
+			}
+			if rest+comment != "" {
+				line.Parts = append(line.Parts, TemplPart{Lit: rest + comment})
+			}
+			return line, nil
+		}
+		closeOff := strings.IndexByte(rest[open:], '}')
+		if closeOff < 0 {
+			return nil, errAt(p.file, Pos{lineNo, col + open}, "'{' without matching '}'")
+		}
+		if open > 0 {
+			line.Parts = append(line.Parts, TemplPart{Lit: rest[:open]})
+		}
+		inner := rest[open+1 : open+closeOff]
+		e, err := parseExprString(p.file, lineNo, col+open+1, inner)
+		if err != nil {
+			return nil, err
+		}
+		line.Parts = append(line.Parts, TemplPart{Expr: e})
+		rest = rest[open+closeOff+1:]
+		col += open + closeOff + 1
+	}
+}
+
+// parseStep parses the one-line step directives.
+func (p *parser) parseStep(t *toks, kw token) (*Step, error) {
+	s := &Step{Pos: kw.pos}
+	switch kw.text {
+	case "maplocal":
+		s.Kind = StepMapLocal
+		args, pos, err := p.parseKeyArgs(t, []string{"node", "page"})
+		if err != nil {
+			return nil, err
+		}
+		s.Node, s.Page = args["node"], args["page"]
+		if err := requireArgs(p.file, kw.pos, args, pos, "node", "page"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case "poke":
+		s.Kind = StepPoke
+		var f *float64
+		args, pos, err := p.parseKeyArgsFloat(t, []string{"node", "addr", "value", "float"}, &f)
+		if err != nil {
+			return nil, err
+		}
+		s.Node, s.Addr, s.Value, s.Float = args["node"], args["addr"], args["value"], f
+		if err := requireArgs(p.file, kw.pos, args, pos, "node", "addr"); err != nil {
+			return nil, err
+		}
+		if (s.Value == nil) == (s.Float == nil) {
+			return nil, errAt(p.file, kw.pos, "poke wants exactly one of value= or float=")
+		}
+		return s, nil
+
+	case "run":
+		s.Kind = StepRun
+		s.Phase, p.phase = p.phase, ""
+		e, err := parseExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.expectEOL(); err != nil {
+			return nil, err
+		}
+		s.Budget = e
+		return s, nil
+
+	case "load":
+		return p.parseLoad(t, s)
+
+	case "expect":
+		return p.parseExpect(t, s)
+
+	case "check":
+		s.Kind = StepCheck
+		kind, err := t.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s.CheckKind = kind.text
+		s.ProgPos = kind.pos
+		s.Args, s.ArgPos, err = p.parseKeyArgs(t, nil)
+		return s, err
+	}
+	return nil, errAt(p.file, kw.pos, "internal: unhandled step %q", kw.text)
+}
+
+func (p *parser) parseLoad(t *toks, s *Step) (*Step, error) {
+	s.Kind = StepLoad
+	prog, err := t.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.Prog, s.ProgPos = prog.text, prog.pos
+	on, err := t.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if on.text != "on" {
+		return nil, errAt(p.file, on.pos, "expected 'on', got %q", on.text)
+	}
+	target, err := t.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch target.text {
+	case "all":
+		s.OnAll = true
+	case "node":
+		if s.NodeLo, err = parseExpr(t); err != nil {
+			return nil, err
+		}
+	case "nodes":
+		if s.NodeLo, err = parseExpr(t); err != nil {
+			return nil, err
+		}
+		if s.NodeHi, err = parseExpr(t); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errAt(p.file, target.pos, "expected 'all', 'node E', or 'nodes LO HI', got %q", target.text)
+	}
+	args, _, err := p.parseKeyArgs(t, []string{"vthread", "cluster"})
+	if err != nil {
+		return nil, err
+	}
+	s.VThread, s.Cluster = args["vthread"], args["cluster"]
+	return s, nil
+}
+
+func (p *parser) parseExpect(t *toks, s *Step) (*Step, error) {
+	s.Kind = StepExpect
+	kind, err := t.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.ExpectKind = kind.text
+	var f *float64
+	switch kind.text {
+	case "reg":
+		args, pos, err := p.parseKeyArgs(t, []string{"node", "vthread", "cluster", "reg", "value"})
+		if err != nil {
+			return nil, err
+		}
+		s.Node, s.VThread, s.Cluster = args["node"], args["vthread"], args["cluster"]
+		s.Reg, s.Value = args["reg"], args["value"]
+		return s, requireArgs(p.file, kind.pos, args, pos, "node", "reg", "value")
+	case "mem":
+		args, pos, err := p.parseKeyArgs(t, []string{"node", "addr", "value"})
+		if err != nil {
+			return nil, err
+		}
+		s.Node, s.Addr, s.Value = args["node"], args["addr"], args["value"]
+		return s, requireArgs(p.file, kind.pos, args, pos, "node", "addr", "value")
+	case "fmem":
+		args, pos, err := p.parseKeyArgsFloat(t, []string{"node", "addr", "float"}, &f)
+		if err != nil {
+			return nil, err
+		}
+		s.Node, s.Addr, s.Float = args["node"], args["addr"], f
+		if err := requireArgs(p.file, kind.pos, args, pos, "node", "addr"); err != nil {
+			return nil, err
+		}
+		if s.Float == nil {
+			return nil, errAt(p.file, kind.pos, "expect fmem wants float=")
+		}
+		return s, nil
+	}
+	return nil, errAt(p.file, kind.pos, "expected 'reg', 'mem', or 'fmem', got %q", kind.text)
+}
+
+// parseKeyArgs parses a trailing `key=expr ...` list. When allowed is
+// non-nil, keys outside it are rejected.
+func (p *parser) parseKeyArgs(t *toks, allowed []string) (map[string]Expr, map[string]Pos, error) {
+	return p.parseKeyArgsFloat(t, allowed, nil)
+}
+
+// parseKeyArgsFloat is parseKeyArgs with optional support for one
+// float-valued key named "float" (captured into *fOut rather than the
+// expression map).
+func (p *parser) parseKeyArgsFloat(t *toks, allowed []string, fOut **float64) (map[string]Expr, map[string]Pos, error) {
+	args := map[string]Expr{}
+	pos := map[string]Pos{}
+	for {
+		tk := t.peek()
+		if tk.kind == tokEOL {
+			return args, pos, nil
+		}
+		if tk.kind != tokIdent {
+			return nil, nil, errAt(p.file, tk.pos, "expected key=value argument, got %s", tk.describe())
+		}
+		t.next()
+		if allowed != nil && !contains(allowed, tk.text) {
+			return nil, nil, errAt(p.file, tk.pos, "unknown argument %q (valid: %s)", tk.text, strings.Join(allowed, ", "))
+		}
+		if _, dup := pos[tk.text]; dup {
+			return nil, nil, errAt(p.file, tk.pos, "duplicate argument %q", tk.text)
+		}
+		if fOut != nil && tk.text == "float" {
+			if err := t.expectPunct("="); err != nil {
+				return nil, nil, err
+			}
+			neg := false
+			if nt := t.peek(); nt.kind == tokPunct && nt.text == "-" {
+				t.next()
+				neg = true
+			}
+			num := t.peek()
+			if num.kind != tokFloat && num.kind != tokNumber {
+				return nil, nil, errAt(p.file, num.pos, "float= wants a numeric literal, got %s", num.describe())
+			}
+			t.next()
+			v := num.fval
+			if num.kind == tokNumber {
+				v = float64(num.ival)
+			}
+			if neg {
+				v = -v
+			}
+			*fOut = &v
+			pos[tk.text] = tk.pos // value carried out-of-band via fOut
+			continue
+		}
+		if err := t.expectPunct("="); err != nil {
+			return nil, nil, err
+		}
+		e, err := parseExpr(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[tk.text] = e
+		pos[tk.text] = tk.pos
+	}
+}
+
+// requireArgs fails if any of the named keys is missing.
+func requireArgs(file string, at Pos, args map[string]Expr, pos map[string]Pos, keys ...string) error {
+	for _, k := range keys {
+		if _, ok := pos[k]; !ok {
+			if _, ok := args[k]; !ok {
+				return errAt(file, at, "missing required argument %s=", k)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// firstWord returns the first whitespace-delimited word of a line and
+// its 1-based column.
+func firstWord(line string) (string, int) {
+	trimmed := strings.TrimLeft(line, " \t")
+	col := len(line) - len(trimmed) + 1
+	end := strings.IndexAny(trimmed, " \t;")
+	if end < 0 {
+		end = len(trimmed)
+	}
+	return trimmed[:end], col
+}
+
+// stripComment removes a trailing ';' comment.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// Instantiate renders a program template to MAP assembly source under
+// env (which supplies node, nodes, consts, dip bindings, and home()).
+// Gen-backed declarations cannot be instantiated here; the lowering
+// resolves them against internal/workload.
+func (d *ProgramDecl) Instantiate(env *EvalEnv) (string, error) {
+	if d.Body == nil {
+		return "", fmt.Errorf("program %q is generator-backed, not a template", d.Name)
+	}
+	var b strings.Builder
+	if err := renderNodes(d.Body, env, &b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func renderNodes(nodes []TemplNode, env *EvalEnv, b *strings.Builder) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *TemplLine:
+			for _, part := range n.Parts {
+				if part.Expr == nil {
+					b.WriteString(part.Lit)
+					continue
+				}
+				v, err := Eval(part.Expr, env)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(b, "%d", v)
+			}
+			b.WriteByte('\n')
+		case *Repeat:
+			lo, err := Eval(n.Lo, env)
+			if err != nil {
+				return err
+			}
+			hi, err := Eval(n.Hi, env)
+			if err != nil {
+				return err
+			}
+			if hi-lo+1 > 4096 {
+				return errAt(env.File, n.Pos, "repeat range [%d, %d] is too large (max 4096 iterations)", lo, hi)
+			}
+			if _, shadow := env.Vars[n.Var]; shadow {
+				return errAt(env.File, n.Pos, "repeat variable %q shadows an existing binding", n.Var)
+			}
+			for v := lo; v <= hi; v++ {
+				env.Vars[n.Var] = v
+				if err := renderNodes(n.Body, env, b); err != nil {
+					delete(env.Vars, n.Var)
+					return err
+				}
+			}
+			delete(env.Vars, n.Var)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package wdsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseBasics exercises a representative scenario: every directive
+// kind, a template with substitutions and a repeat block, and constants.
+func TestParseBasics(t *testing.T) {
+	f, err := Parse("t.wl", `
+workload "demo"
+mesh 2 2 1
+caching on
+const K 8
+const ADDR 0x100
+
+program p
+    movi i1, #{home(node)+K}
+repeat k = 0 .. K-1
+    st [i1+{k}], i2
+end
+    halt
+end
+
+generate g loopsync hthreads=2 iters=K
+
+maplocal node=0 page=0
+poke node=1 addr=ADDR value=K*2
+poke node=1 addr=ADDR+1 float=2.5
+phase main
+load p on all vthread=3 cluster=1
+load g on node 0
+load p on nodes 1 nodes-1
+run K*100+5
+expect reg node=0 vthread=0 cluster=0 reg=5 value=42
+expect mem node=0 addr=ADDR value=16
+expect fmem node=0 addr=ADDR+1 float=2.5
+check smooth total=64
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Title != "demo" || !f.Caching {
+		t.Errorf("title/caching = %q/%v", f.Title, f.Caching)
+	}
+	if f.Mesh != [3]int{2, 2, 1} {
+		t.Errorf("mesh = %v", f.Mesh)
+	}
+	if len(f.Consts) != 2 || len(f.Programs) != 2 {
+		t.Fatalf("%d consts, %d programs", len(f.Consts), len(f.Programs))
+	}
+	if f.Lookup("p") == nil || f.Lookup("g") == nil || f.Lookup("zzz") != nil {
+		t.Error("Lookup misbehaved")
+	}
+	if got := len(f.Steps); got != 11 {
+		t.Errorf("%d steps, want 11", got)
+	}
+	// The phase name attaches to the run step.
+	for _, s := range f.Steps {
+		if s.Kind == StepRun && s.Phase != "main" {
+			t.Errorf("run phase = %q, want main", s.Phase)
+		}
+	}
+}
+
+// TestInstantiate renders a template under per-node bindings, including
+// repeat unrolling and the home() function.
+func TestInstantiate(t *testing.T) {
+	f, err := Parse("t.wl", `
+mesh 4
+program p
+    movi i1, #{home(node)+16}
+repeat k = 1 .. 2
+    st [i1+{k*8}], i2
+end
+    halt
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &EvalEnv{
+		File: "t.wl",
+		Vars: map[string]int64{"node": 2, "nodes": 4},
+		Home: func(n int64) (int64, error) { return n * 4096, nil },
+	}
+	src, err := f.Programs[0].Instantiate(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "    movi i1, #8208\n    st [i1+8], i2\n    st [i1+16], i2\n    halt\n"
+	if src != want {
+		t.Errorf("instantiated:\n%q\nwant:\n%q", src, want)
+	}
+	// The repeat variable goes out of scope afterwards.
+	if _, ok := env.Vars["k"]; ok {
+		t.Error("repeat variable leaked into the environment")
+	}
+}
+
+// TestTemplateComments pins that ';' comments on template lines pass
+// through verbatim: braces inside them are prose, not substitutions.
+func TestTemplateComments(t *testing.T) {
+	f, err := Parse("t.wl", `
+mesh 1
+program p
+    movi i1, #{node+5}     ; set {i1} to node+5 { prose braces
+    halt                   ; done
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := f.Programs[0].Instantiate(&EvalEnv{
+		File: "t.wl", Vars: map[string]int64{"node": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "movi i1, #6     ; set {i1} to node+5 { prose braces") {
+		t.Errorf("comment not preserved verbatim:\n%s", src)
+	}
+}
+
+// TestExprEval covers the operator set, precedence, and builtins.
+func TestExprEval(t *testing.T) {
+	env := &EvalEnv{
+		File: "t.wl",
+		Vars: map[string]int64{"n": 10},
+		Home: func(n int64) (int64, error) { return n * 100, nil },
+	}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-4+1", -3},
+		{"17%5", 2},
+		{"7/2", 3},
+		{"1<<4", 16},
+		{"256>>2", 64},
+		{"xor(5, 3)", 6},
+		{"min(4, n)", 4},
+		{"max(4, n)", 10},
+		{"home(3)+5", 305},
+		{"n*(n+1)/2", 55},
+		{"0x20", 32},
+	}
+	for _, c := range cases {
+		e, err := parseExprString("t.wl", 1, 1, c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		got, err := Eval(e, env)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// TestParseErrors drives malformed sources through the parser and
+// demands a positional error at the expected line:col — never a panic.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src  string
+		line, col  int
+		msgContain string
+	}{
+		{"unknown directive", "mesh 2\nfrobnicate 3\n", 2, 1, "unknown directive"},
+		{"bad mesh dims", "mesh two\n", 1, 6, "integer literals"},
+		{"mesh missing dims", "mesh\n", 1, 5, "1-3 integer dimensions"},
+		{"bad caching", "caching maybe\n", 1, 9, "'on' or 'off'"},
+		{"const missing expr", "const K\n", 1, 8, "expected expression"},
+		{"unterminated string", "workload \"oops\n", 1, 10, "unterminated string"},
+		{"unterminated program", "program p\n    halt\n", 1, 9, "never closed"},
+		{"stray end", "mesh 1\nend\n", 2, 1, "'end' outside"},
+		{"stray repeat", "repeat k = 0 .. 3\n", 1, 1, "only valid inside"},
+		{"unclosed brace", "program p\n    movi i1, #{node+1\nend\n", 2, 15, "without matching"},
+		{"stray close brace", "program p\n    movi i1, #1}\nend\n", 2, 16, "without matching"},
+		{"bad repeat bounds", "program p\nrepeat k = 0 3\n    halt\nend\nend\n", 2, 14, `expected ".."`},
+		{"bad expr in template", "program p\n    movi i1, #{1+*2}\nend\n", 2, 18, "expected expression"},
+		{"duplicate program", "program p\nend\nprogram p\nend\n", 3, 9, "already declared"},
+		{"load missing on", "mesh 1\nload p node 0\n", 2, 8, "expected 'on'"},
+		{"load bad target", "mesh 1\nload p on cluster\n", 2, 11, "expected 'all'"},
+		{"bad key", "maplocal node=0 color=3\n", 1, 17, "unknown argument"},
+		{"duplicate key", "maplocal node=0 node=1\n", 1, 17, "duplicate argument"},
+		{"missing required key", "maplocal node=0\n", 1, 1, "missing required argument page="},
+		{"poke both values", "poke node=0 addr=1 value=2 float=3.0\n", 1, 1, "exactly one of"},
+		{"expect bad kind", "expect flag node=0\n", 1, 8, "expected 'reg', 'mem', or 'fmem'"},
+		{"trailing junk", "mesh 2 2 1 9\n", 1, 12, "unexpected"},
+		{"bad char", "mesh 2 !\n", 1, 8, "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t.wl", c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error %v is not a positional *Error", err)
+			}
+			if perr.Pos.Line != c.line || perr.Pos.Col != c.col {
+				t.Errorf("error at %d:%d, want %d:%d (%v)", perr.Pos.Line, perr.Pos.Col, c.line, c.col, err)
+			}
+			if !strings.Contains(perr.Msg, c.msgContain) {
+				t.Errorf("error %q does not mention %q", perr.Msg, c.msgContain)
+			}
+			if !strings.HasPrefix(err.Error(), "t.wl:") {
+				t.Errorf("error string %q does not lead with the file position", err.Error())
+			}
+		})
+	}
+}
+
+// TestEvalErrors covers the arithmetic error paths.
+func TestEvalErrors(t *testing.T) {
+	env := &EvalEnv{File: "t.wl", Vars: map[string]int64{}}
+	for _, src := range []string{
+		"1/0", "1%0", "1<<64", "1<<-1", "nope", "sqrt(4)", "home(0)",
+		"min(1)", "xor(1,2,3)",
+	} {
+		e, err := parseExprString("t.wl", 1, 1, src)
+		if err != nil {
+			t.Errorf("%s failed to parse: %v", src, err)
+			continue
+		}
+		if _, err := Eval(e, env); err == nil {
+			t.Errorf("%s evaluated without error", src)
+		}
+	}
+}
+
+// TestRepeatGuards covers the unrolling safety rails.
+func TestRepeatGuards(t *testing.T) {
+	parse := func(src string) *File {
+		f, err := Parse("t.wl", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	env := func() *EvalEnv {
+		return &EvalEnv{File: "t.wl", Vars: map[string]int64{"node": 0}}
+	}
+
+	huge := parse("program p\nrepeat k = 0 .. 100000\n    halt\nend\nend\n")
+	if _, err := huge.Programs[0].Instantiate(env()); err == nil ||
+		!strings.Contains(err.Error(), "too large") {
+		t.Errorf("huge repeat: %v", err)
+	}
+
+	shadow := parse("program p\nrepeat node = 0 .. 1\n    halt\nend\nend\n")
+	if _, err := shadow.Programs[0].Instantiate(env()); err == nil ||
+		!strings.Contains(err.Error(), "shadows") {
+		t.Errorf("shadowing repeat: %v", err)
+	}
+
+	// An empty range (lo > hi) renders nothing and is not an error.
+	empty := parse("program p\nrepeat k = 1 .. 0\n    halt\nend\n    halt\nend\n")
+	src, err := empty.Programs[0].Instantiate(env())
+	if err != nil || strings.Count(src, "halt") != 1 {
+		t.Errorf("empty repeat: src=%q err=%v", src, err)
+	}
+}

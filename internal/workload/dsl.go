@@ -1,0 +1,562 @@
+package workload
+
+// Lowering of the declarative workload DSL (internal/wdsl) onto this
+// package's generator primitives and the MAP assembler. FromDSL is the
+// validate-and-lower half of the pipeline described in DESIGN.md ("The
+// workload DSL"):
+//
+//	parse (wdsl.Parse) -> validate + lower (workload.FromDSL) -> execute (core)
+//
+// The output is a Plan: a flat list of executable steps (map, poke, load,
+// run, expect, check) whose machine-dependent values — virtual addresses
+// under the runtime's home mapping, the runtime's dispatch instruction
+// pointers — are deferred behind closures taking an Env. Everything that
+// can be resolved statically (node indices, thread slots, cycle budgets,
+// generator parameters) is resolved and range-checked here, so a bad
+// scenario fails with a positional error before a machine is ever built.
+//
+// Determinism: a DSL scenario lowers onto the *same* generator functions
+// and the same assembler the hand-written experiments use — `generate
+// smooth_stage` calls MeshSmooth.StageSrc, `generate stencil` returns the
+// exact isa.Program values of Stencil7/Stencil27 — so a DSL re-expression
+// of a hand-coded workload produces bit-identical simulated metrics under
+// every engine (see TestDSLMatchesHandWritten in internal/core).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/wdsl"
+)
+
+// Env supplies the machine-dependent bindings a lowered Plan needs at
+// execution time. The executor (core.Scenario) fills it from the booted
+// simulator: the home mapping and the software runtime's registered
+// dispatch instruction pointers.
+type Env struct {
+	Nodes              int
+	HomeBase           func(int) uint64 // first virtual word homed on node i
+	DIPRemoteWrite     uint64           // rt.DIPRemoteWrite ("dip")
+	DIPRemoteWriteSync uint64           // rt.DIPRemoteWriteSync ("dipsync")
+}
+
+// PeekFn reads one word of a node's memory (core.Sim.Peek).
+type PeekFn func(node int, addr uint64) (uint64, error)
+
+// PlanStepKind enumerates executable plan steps.
+type PlanStepKind int
+
+const (
+	PlanMapLocal  PlanStepKind = iota // prime a local read/write page
+	PlanPoke                          // write a word through the boot path
+	PlanLoad                          // load program(s) on one node
+	PlanRun                           // run the machine under a budget
+	PlanExpectReg                     // assert an integer register value
+	PlanExpectMem                     // assert a memory word
+	PlanCheck                         // builtin whole-workload check
+)
+
+// PlanStep is one lowered step. Which fields are set depends on Kind;
+// Pos carries the source position for runtime error messages.
+type PlanStep struct {
+	Kind PlanStepKind
+	Pos  string
+
+	Node, VThread, Cluster int
+	Page                   uint64
+	Budget                 int64
+	Phase                  string
+	Reg                    int
+	Float                  bool // expect fmem: compare as float64 bits
+
+	// Deferred values (evaluated under the execution Env).
+	Addr, Value func(Env) (uint64, error)
+
+	// Program sources: exactly one of Src / Progs is set on PlanLoad.
+	// Src yields assembly text to assemble-and-load on (Node, VThread,
+	// Cluster); Progs yields a pre-assembled bundle loaded on clusters
+	// Cluster, Cluster+1, ...
+	Src   func(Env) (string, error)
+	Progs func(Env) ([]*isa.Program, error)
+
+	// Check verifies a whole workload post-run (PlanCheck).
+	Check func(Env, PeekFn) error
+}
+
+// Plan is a lowered, validated scenario ready for execution by the core
+// package.
+type Plan struct {
+	Title   string
+	Dims    [3]int
+	Caching bool
+	Steps   []PlanStep
+}
+
+// Mesh size limits for DSL scenarios: generous for experiments, tight
+// enough that a typo'd dimension fails validation instead of trying to
+// allocate a million-node machine.
+const (
+	maxMeshDim   = 32
+	maxMeshNodes = 1024
+)
+
+// lowerer carries the shared state of one FromDSL run.
+type lowerer struct {
+	f     *wdsl.File
+	nodes int
+	vars  map[string]int64 // consts + nodes (static bindings)
+}
+
+// FromDSL validates a parsed DSL file and lowers it to an executable
+// Plan. All errors are positional (*wdsl.Error).
+func FromDSL(f *wdsl.File) (*Plan, error) {
+	if f.Mesh == [3]int{} {
+		return nil, errAt(f, wdsl.Pos{Line: 1, Col: 1}, "scenario has no mesh directive")
+	}
+	for i, d := range f.Mesh {
+		if d < 1 || d > maxMeshDim {
+			return nil, errAt(f, f.MeshDimPos[i], "mesh dimension %d out of range [1, %d]", d, maxMeshDim)
+		}
+	}
+	nodes := f.Mesh[0] * f.Mesh[1] * f.Mesh[2]
+	if nodes > maxMeshNodes {
+		return nil, errAt(f, f.MeshPos, "mesh has %d nodes, more than the %d-node limit", nodes, maxMeshNodes)
+	}
+
+	lo := &lowerer{f: f, nodes: nodes, vars: map[string]int64{"nodes": int64(nodes)}}
+	for _, c := range f.Consts {
+		if _, dup := lo.vars[c.Name]; dup {
+			return nil, errAt(f, c.Pos, "constant %q redeclared (or shadows a builtin)", c.Name)
+		}
+		v, err := wdsl.Eval(c.Expr, &wdsl.EvalEnv{File: f.Name, Vars: lo.vars})
+		if err != nil {
+			return nil, err
+		}
+		lo.vars[c.Name] = v
+	}
+
+	p := &Plan{Title: f.Title, Dims: f.Mesh, Caching: f.Caching}
+	for _, s := range f.Steps {
+		steps, err := lo.lowerStep(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Steps = append(p.Steps, steps...)
+	}
+	return p, nil
+}
+
+// errAt builds a positional error against the file.
+func errAt(f *wdsl.File, pos wdsl.Pos, format string, args ...any) *wdsl.Error {
+	return &wdsl.Error{File: f.Name, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// static evaluates an expression that must not depend on the execution
+// environment (no node, home(), or dip bindings).
+func (lo *lowerer) static(e wdsl.Expr) (int64, error) {
+	return wdsl.Eval(e, &wdsl.EvalEnv{File: lo.f.Name, Vars: lo.vars})
+}
+
+// staticIn evaluates e (nil means dflt) and range-checks it.
+func (lo *lowerer) staticIn(e wdsl.Expr, dflt int64, name string, min, max int64, at wdsl.Pos) (int64, error) {
+	if e == nil {
+		return dflt, nil
+	}
+	v, err := lo.static(e)
+	if err != nil {
+		return 0, err
+	}
+	if v < min || v > max {
+		return 0, errAt(lo.f, e.Pos(), "%s %d out of range [%d, %d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+// runEnv builds the evaluation environment for deferred expressions:
+// the static bindings plus dip/dipsync and home(), and optionally the
+// current node.
+func (lo *lowerer) runEnv(env Env, node int) *wdsl.EvalEnv {
+	vars := make(map[string]int64, len(lo.vars)+3)
+	for k, v := range lo.vars {
+		vars[k] = v
+	}
+	vars["dip"] = int64(env.DIPRemoteWrite)
+	vars["dipsync"] = int64(env.DIPRemoteWriteSync)
+	if node >= 0 {
+		vars["node"] = int64(node)
+	}
+	nodes := env.Nodes
+	home := env.HomeBase
+	return &wdsl.EvalEnv{
+		File: lo.f.Name,
+		Vars: vars,
+		Home: func(n int64) (int64, error) {
+			if n < 0 || n >= int64(nodes) {
+				return 0, fmt.Errorf("home(%d): node outside the %d-node mesh", n, nodes)
+			}
+			return int64(home(int(n))), nil
+		},
+	}
+}
+
+// deferExpr wraps an expression into an Env-deferred uint64 closure.
+func (lo *lowerer) deferExpr(e wdsl.Expr) func(Env) (uint64, error) {
+	return func(env Env) (uint64, error) {
+		v, err := wdsl.Eval(e, lo.runEnv(env, -1))
+		return uint64(v), err
+	}
+}
+
+// constValue wraps a known value into the deferred-closure shape.
+func constValue(v uint64) func(Env) (uint64, error) {
+	return func(Env) (uint64, error) { return v, nil }
+}
+
+func (lo *lowerer) lowerStep(s *wdsl.Step) ([]PlanStep, error) {
+	pos := fmt.Sprintf("%s:%d:%d", lo.f.Name, s.Pos.Line, s.Pos.Col)
+	switch s.Kind {
+	case wdsl.StepMapLocal:
+		node, err := lo.staticIn(s.Node, 0, "node", 0, int64(lo.nodes)-1, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		page, err := lo.staticIn(s.Page, 0, "page", 0, 1<<40, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return []PlanStep{{Kind: PlanMapLocal, Pos: pos, Node: int(node), Page: uint64(page)}}, nil
+
+	case wdsl.StepPoke:
+		node, err := lo.staticIn(s.Node, 0, "node", 0, int64(lo.nodes)-1, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		st := PlanStep{Kind: PlanPoke, Pos: pos, Node: int(node), Addr: lo.deferExpr(s.Addr)}
+		if s.Float != nil {
+			st.Value = constValue(math.Float64bits(*s.Float))
+		} else {
+			st.Value = lo.deferExpr(s.Value)
+		}
+		return []PlanStep{st}, nil
+
+	case wdsl.StepRun:
+		budget, err := lo.staticIn(s.Budget, 0, "cycle budget", 1, 1<<40, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return []PlanStep{{Kind: PlanRun, Pos: pos, Phase: s.Phase, Budget: budget}}, nil
+
+	case wdsl.StepLoad:
+		return lo.lowerLoad(s, pos)
+
+	case wdsl.StepExpect:
+		return lo.lowerExpect(s, pos)
+
+	case wdsl.StepCheck:
+		return lo.lowerCheck(s, pos)
+	}
+	return nil, errAt(lo.f, s.Pos, "internal: unhandled step kind %d", s.Kind)
+}
+
+func (lo *lowerer) lowerExpect(s *wdsl.Step, pos string) ([]PlanStep, error) {
+	node, err := lo.staticIn(s.Node, 0, "node", 0, int64(lo.nodes)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	st := PlanStep{Pos: pos, Node: int(node)}
+	switch s.ExpectKind {
+	case "reg":
+		vt, err := lo.staticIn(s.VThread, 0, "vthread", 0, int64(isa.NumUserSlots)-1, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := lo.staticIn(s.Cluster, 0, "cluster", 0, int64(isa.NumClusters)-1, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		reg, err := lo.staticIn(s.Reg, 0, "register", 0, 15, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		st.Kind = PlanExpectReg
+		st.VThread, st.Cluster, st.Reg = int(vt), int(cl), int(reg)
+		st.Value = lo.deferExpr(s.Value)
+	case "mem":
+		st.Kind = PlanExpectMem
+		st.Addr = lo.deferExpr(s.Addr)
+		st.Value = lo.deferExpr(s.Value)
+	case "fmem":
+		st.Kind = PlanExpectMem
+		st.Float = true
+		st.Addr = lo.deferExpr(s.Addr)
+		st.Value = constValue(math.Float64bits(*s.Float))
+	default:
+		return nil, errAt(lo.f, s.Pos, "unknown expect kind %q", s.ExpectKind)
+	}
+	return []PlanStep{st}, nil
+}
+
+// lowerLoad expands a load directive into one PlanLoad per target node.
+func (lo *lowerer) lowerLoad(s *wdsl.Step, pos string) ([]PlanStep, error) {
+	decl := lo.f.Lookup(s.Prog)
+	if decl == nil {
+		return nil, errAt(lo.f, s.ProgPos, "undefined program %q", s.Prog)
+	}
+	var nodeLo, nodeHi int64
+	switch {
+	case s.OnAll:
+		nodeLo, nodeHi = 0, int64(lo.nodes)-1
+	case s.NodeHi == nil:
+		n, err := lo.staticIn(s.NodeLo, 0, "node", 0, int64(lo.nodes)-1, s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		nodeLo, nodeHi = n, n
+	default:
+		var err error
+		if nodeLo, err = lo.staticIn(s.NodeLo, 0, "node", 0, int64(lo.nodes)-1, s.Pos); err != nil {
+			return nil, err
+		}
+		if nodeHi, err = lo.staticIn(s.NodeHi, 0, "node", 0, int64(lo.nodes)-1, s.Pos); err != nil {
+			return nil, err
+		}
+		if nodeHi < nodeLo {
+			return nil, errAt(lo.f, s.Pos, "empty node range [%d, %d]", nodeLo, nodeHi)
+		}
+	}
+	vt, err := lo.staticIn(s.VThread, 0, "vthread", 0, int64(isa.NumUserSlots)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := lo.staticIn(s.Cluster, 0, "cluster", 0, int64(isa.NumClusters)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+
+	src, progs, span, err := lo.resolveProgram(decl)
+	if err != nil {
+		return nil, err
+	}
+	if int(cl)+span > isa.NumClusters {
+		return nil, errAt(lo.f, s.Pos, "program %q spans %d clusters starting at %d, beyond the chip's %d",
+			s.Prog, span, cl, isa.NumClusters)
+	}
+
+	var out []PlanStep
+	for n := nodeLo; n <= nodeHi; n++ {
+		st := PlanStep{Kind: PlanLoad, Pos: pos, Node: int(n), VThread: int(vt), Cluster: int(cl)}
+		if progs != nil {
+			st.Progs = progs
+		} else {
+			node := int(n)
+			st.Src = func(env Env) (string, error) { return src(env, node) }
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// resolveProgram turns a program declaration into either a per-node
+// source closure or a pre-assembled program bundle, plus the bundle's
+// cluster span.
+func (lo *lowerer) resolveProgram(decl *wdsl.ProgramDecl) (func(Env, int) (string, error), func(Env) ([]*isa.Program, error), int, error) {
+	if decl.Gen == nil {
+		src := func(env Env, node int) (string, error) {
+			return decl.Instantiate(lo.runEnv(env, node))
+		}
+		return src, nil, 1, nil
+	}
+	g := decl.Gen
+	arg := func(name string) (int64, bool, error) {
+		e, ok := g.Args[name]
+		if !ok {
+			return 0, false, nil
+		}
+		v, err := lo.static(e)
+		return v, true, err
+	}
+	need := func(name string) (int64, error) {
+		v, ok, err := arg(name)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, errAt(lo.f, g.Pos, "generator %q wants %s=", g.Kind, name)
+		}
+		return v, nil
+	}
+	reject := func(valid ...string) error {
+		for k := range g.Args {
+			if !containsStr(valid, k) {
+				return errAt(lo.f, g.ArgPos[k], "generator %q does not take %s=", g.Kind, k)
+			}
+		}
+		return nil
+	}
+
+	switch g.Kind {
+	case "smooth_stage", "smooth_work":
+		if err := reject("total"); err != nil {
+			return nil, nil, 0, err
+		}
+		total, err := need("total")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		mesh, err := NewMeshSmooth(lo.nodes, int(total))
+		if err != nil {
+			return nil, nil, 0, errAt(lo.f, g.Pos, "%v", err)
+		}
+		stage := g.Kind == "smooth_stage"
+		src := func(env Env, node int) (string, error) {
+			if stage {
+				return mesh.StageSrc(node, env.HomeBase), nil
+			}
+			return mesh.WorkerSrc(node, env.HomeBase), nil
+		}
+		return src, nil, 1, nil
+
+	case "loopsync":
+		if err := reject("hthreads", "iters"); err != nil {
+			return nil, nil, 0, err
+		}
+		ht, err := need("hthreads")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		iters, err := need("iters")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		progs, err := LoopSync(int(ht), int(iters))
+		if err != nil {
+			return nil, nil, 0, errAt(lo.f, g.Pos, "%v", err)
+		}
+		return nil, func(Env) ([]*isa.Program, error) { return progs, nil }, len(progs), nil
+
+	case "stencil":
+		if err := reject("points", "hthreads"); err != nil {
+			return nil, nil, 0, err
+		}
+		points, err := need("points")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ht, err := need("hthreads")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var st *Stencil
+		switch points {
+		case 7:
+			st, err = Stencil7(int(ht))
+		case 27:
+			st, err = Stencil27(int(ht))
+		default:
+			err = fmt.Errorf("workload: stencil supports points=7 or points=27, not %d", points)
+		}
+		if err != nil {
+			return nil, nil, 0, errAt(lo.f, g.Pos, "%v", err)
+		}
+		return nil, func(Env) ([]*isa.Program, error) { return st.Programs, nil }, len(st.Programs), nil
+
+	case "spinloop":
+		if err := reject("iters"); err != nil {
+			return nil, nil, 0, err
+		}
+		iters, err := need("iters")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p := SpinLoop(int(iters))
+		return nil, func(Env) ([]*isa.Program, error) { return []*isa.Program{p}, nil }, 1, nil
+
+	case "exchange":
+		if err := reject("msgs"); err != nil {
+			return nil, nil, 0, err
+		}
+		msgs, err := need("msgs")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if msgs < 1 || msgs > MeshMaxMsgs {
+			return nil, nil, 0, errAt(lo.f, g.Pos, "exchange msgs %d out of range [1, %d]", msgs, MeshMaxMsgs)
+		}
+		nodes := lo.nodes
+		src := func(env Env, node int) (string, error) {
+			return NeighborExchangeSrc(node, nodes, int(msgs), env.DIPRemoteWrite, env.HomeBase), nil
+		}
+		return src, nil, 1, nil
+	}
+	return nil, nil, 0, errAt(lo.f, g.Pos,
+		"unknown generator %q (valid: smooth_stage, smooth_work, loopsync, stencil, spinloop, exchange)", g.Kind)
+}
+
+// lowerCheck lowers the builtin whole-workload verifications.
+func (lo *lowerer) lowerCheck(s *wdsl.Step, pos string) ([]PlanStep, error) {
+	arg := func(name string) (int64, error) {
+		e, ok := s.Args[name]
+		if !ok {
+			return 0, errAt(lo.f, s.Pos, "check %s wants %s=", s.CheckKind, name)
+		}
+		return lo.static(e)
+	}
+	switch s.CheckKind {
+	case "smooth":
+		total, err := arg("total")
+		if err != nil {
+			return nil, err
+		}
+		mesh, err := NewMeshSmooth(lo.nodes, int(total))
+		if err != nil {
+			return nil, errAt(lo.f, s.Pos, "%v", err)
+		}
+		check := func(env Env, peek PeekFn) error {
+			for j := 1; j < mesh.Total()-1; j++ {
+				got, err := peek(j/mesh.Chunk, mesh.VAddr(env.HomeBase, j))
+				if err != nil {
+					return fmt.Errorf("v[%d]: %w", j, err)
+				}
+				if got != mesh.Want(j) {
+					return fmt.Errorf("v[%d] = %d, want %d", j, got, mesh.Want(j))
+				}
+			}
+			return nil
+		}
+		return []PlanStep{{Kind: PlanCheck, Pos: pos, Check: check}}, nil
+
+	case "exchange":
+		msgs, err := arg("msgs")
+		if err != nil {
+			return nil, err
+		}
+		nodes := lo.nodes
+		check := func(env Env, peek PeekFn) error {
+			for n := 0; n < nodes; n++ {
+				for w := 0; w < int(msgs); w++ {
+					addr := NeighborExchangeAddr(env.HomeBase, n, w)
+					got, err := peek(n, addr)
+					if err != nil {
+						return fmt.Errorf("mailbox %d.%d: %w", n, w, err)
+					}
+					if got != addr {
+						return fmt.Errorf("mailbox %d.%d = %d, want %d", n, w, got, addr)
+					}
+				}
+			}
+			return nil
+		}
+		return []PlanStep{{Kind: PlanCheck, Pos: pos, Check: check}}, nil
+	}
+	return nil, errAt(lo.f, s.Pos, "unknown check %q (valid: smooth, exchange)", s.CheckKind)
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/wdsl"
+)
+
+// lowerErr parses src and lowers it, expecting a positional error whose
+// message mentions want.
+func lowerErr(t *testing.T, src, want string) {
+	t.Helper()
+	f, err := wdsl.Parse("t.wl", src)
+	if err != nil {
+		t.Fatalf("parse failed before lowering: %v", err)
+	}
+	_, err = FromDSL(f)
+	if err == nil {
+		t.Fatalf("no lowering error for %q", src)
+	}
+	var perr *wdsl.Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %v is not a positional *wdsl.Error", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err.Error(), want)
+	}
+}
+
+// TestFromDSLValidation drives every semantic error path: all must be
+// positional errors, never panics.
+func TestFromDSLValidation(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no mesh", "run 100\n", "no mesh directive"},
+		{"mesh dim zero", "mesh 0\n", "out of range"},
+		{"mesh dim huge", "mesh 33\n", "out of range"},
+		{"mesh too many nodes", "mesh 32 32 2\n", "node limit"},
+		{"undefined program", "mesh 2\nload ghost on all\nrun 10\n", `undefined program "ghost"`},
+		{"node out of range", "mesh 2\npoke node=2 addr=1 value=1\n", "out of range"},
+		{"negative node", "mesh 2\npoke node=-1 addr=1 value=1\n", "out of range"},
+		{"vthread out of range", "mesh 1\nprogram p\n    halt\nend\nload p on node 0 vthread=4\n", "out of range"},
+		{"cluster out of range", "mesh 1\nprogram p\n    halt\nend\nload p on node 0 cluster=9\n", "out of range"},
+		{"reg out of range", "mesh 1\nexpect reg node=0 reg=16 value=0\n", "out of range"},
+		{"budget zero", "mesh 1\nrun 0\n", "out of range"},
+		{"empty node range", "mesh 4\nprogram p\n    halt\nend\nload p on nodes 3 1\n", "empty node range"},
+		{"unknown generator", "mesh 1\ngenerate g warp factor=9\nload g on node 0\n", "unknown generator"},
+		{"generator missing arg", "mesh 1\ngenerate g loopsync hthreads=2\nload g on node 0\n", "wants iters="},
+		{"generator extra arg", "mesh 1\ngenerate g spinloop iters=5 nodes=2\nload g on node 0\n", "does not take"},
+		{"loopsync bad hthreads", "mesh 1\ngenerate g loopsync hthreads=3 iters=5\nload g on node 0\n", "2 or 4 H-Threads"},
+		{"stencil bad points", "mesh 1\ngenerate g stencil points=9 hthreads=1\nload g on node 0\n", "points=7 or points=27"},
+		{"cluster span overflow", "mesh 1\ngenerate g stencil points=27 hthreads=4\nload g on node 0 cluster=1\n", "spans 4 clusters"},
+		{"exchange msgs range", "mesh 2\ngenerate g exchange msgs=100000\nload g on all\n", "out of range"},
+		{"smooth bad split", "mesh 3\ngenerate g smooth_stage total=512\nload g on all\n", "do not divide"},
+		{"check smooth bad split", "mesh 3\ncheck smooth total=100\n", "do not divide"},
+		{"check unknown", "mesh 1\ncheck parity bits=2\n", "unknown check"},
+		{"check missing arg", "mesh 1\ncheck smooth\n", "wants total="},
+		{"const redeclared", "mesh 1\nconst A 1\nconst A 2\n", "redeclared"},
+		{"const shadows builtin", "mesh 1\nconst nodes 9\n", "redeclared (or shadows"},
+		{"const uses home", "mesh 1\nconst A home(0)\n", "not available"},
+		{"unknown ident in budget", "mesh 1\nrun BUDGET\n", "unknown identifier"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lowerErr(t, c.src, c.want)
+		})
+	}
+}
+
+// TestFromDSLLowering checks the structural output of a successful
+// lowering: load expansion across nodes, deferred address evaluation,
+// and float pokes.
+func TestFromDSLLowering(t *testing.T) {
+	f, err := wdsl.Parse("t.wl", `
+workload demo
+mesh 2 2 1
+const K 3
+
+program p
+    movi i1, #{home(node)+K}
+    halt
+end
+
+load p on all vthread=1
+phase warm
+run 500
+poke node=1 addr=home(1)+8 value=K*2
+expect mem node=1 addr=home(1)+8 value=6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FromDSL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Title != "demo" || plan.Dims != [3]int{2, 2, 1} {
+		t.Errorf("title/dims = %q/%v", plan.Title, plan.Dims)
+	}
+	// 4 loads (one per node) + run + poke + expect.
+	if len(plan.Steps) != 7 {
+		t.Fatalf("%d plan steps, want 7", len(plan.Steps))
+	}
+	env := Env{
+		Nodes:              4,
+		HomeBase:           func(i int) uint64 { return uint64(i) * 4096 },
+		DIPRemoteWrite:     111,
+		DIPRemoteWriteSync: 222,
+	}
+	for i := 0; i < 4; i++ {
+		st := plan.Steps[i]
+		if st.Kind != PlanLoad || st.Node != i || st.VThread != 1 {
+			t.Fatalf("step %d = %+v", i, st)
+		}
+		src, err := st.Src(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "#" + strconv.Itoa(i*4096+3); !strings.Contains(src, want) {
+			t.Errorf("node %d source %q lacks %s", i, src, want)
+		}
+	}
+	if run := plan.Steps[4]; run.Kind != PlanRun || run.Budget != 500 || run.Phase != "warm" {
+		t.Errorf("run step = %+v", run)
+	}
+	poke := plan.Steps[5]
+	if addr, err := poke.Addr(env); err != nil || addr != 4104 {
+		t.Errorf("poke addr = %d, %v", addr, err)
+	}
+	if v, err := poke.Value(env); err != nil || v != 6 {
+		t.Errorf("poke value = %d, %v", v, err)
+	}
+}
+
+// TestFromDSLGeneratorIdentity pins the generator-backed programs to the
+// package's own generators: the lowered bundle must be the same
+// isa.Program values, not re-assembled copies.
+func TestFromDSLGeneratorIdentity(t *testing.T) {
+	f, err := wdsl.Parse("t.wl", `
+mesh 1
+generate st stencil points=7 hthreads=2
+load st on node 0
+run 10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FromDSL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := plan.Steps[0].Progs(Env{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Stencil7(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != len(want.Programs) {
+		t.Fatalf("%d programs, want %d", len(progs), len(want.Programs))
+	}
+	for i := range progs {
+		if progs[i].Name != want.Programs[i].Name || progs[i].Len() != want.Programs[i].Len() {
+			t.Errorf("program %d = %s/%d, want %s/%d", i,
+				progs[i].Name, progs[i].Len(), want.Programs[i].Name, want.Programs[i].Len())
+		}
+	}
+}

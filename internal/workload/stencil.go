@@ -1,7 +1,19 @@
-// Package workload generates the paper's example workloads as MAP assembly:
-// the 7-point and 27-point stencil smoothing kernels of Section 3.1 /
-// Figure 5 scheduled for 1, 2, or 4 H-Threads, and the H-Thread loop
-// synchronization kernel of Figure 6.
+// Package workload generates the simulator's workloads as MAP assembly.
+//
+// The hand-written generators cover the paper's kernels — the 7-point
+// and 27-point stencils of Section 3.1 / Figure 5 scheduled for 1, 2,
+// or 4 H-Threads (Stencil7, Stencil27), the Figure 6 H-Thread loop
+// synchronization kernel (LoopSync) with its SpinLoop baseline, and the
+// ablation kernels (LoadHeavyKernel, PointerKernel) — plus the
+// machine-scale mesh families (MeshSmooth, NeighborExchangeSrc; see
+// mesh.go) used by the scaling experiments and parallel-engine
+// benchmarks.
+//
+// FromDSL (dsl.go) lowers parsed declarative workload scenarios
+// (internal/wdsl, docs/wdsl.md) onto these same primitives and the MAP
+// assembler, producing an executable Plan; because the lowering reuses
+// the generators verbatim, DSL re-expressions of the hand-written
+// workloads are bit-identical to them under every engine.
 package workload
 
 import (

@@ -1,0 +1,54 @@
+; Butterfly all-reduce: log2(nodes) exchange rounds, each node pairing
+; with partner node^(2^k) in round k. Every node sends its running sum
+; to its partner's round-k mailbox through the remote-write-sync
+; dispatch pointer and synchronizes on its own round-k mailbox with
+; ldsy.fe, so after the last round every node holds the full total —
+; the classic recursive-doubling pattern, with no barriers beyond the
+; sync bits themselves. The repeat block unrolls the rounds at
+; instantiation time, computing each round's partner address with
+; xor(node, 1 << k).
+
+workload "butterfly all-reduce, 4 nodes"
+mesh 4
+const ROUNDS 2             ; log2(nodes)
+const MB  336              ; per-round mailbox words [MB, MB+ROUNDS)
+const RES 400              ; per-node result word
+
+program touch
+    movi i2, #0
+repeat k = 0 .. ROUNDS-1
+    movi i1, #{home(node)+MB+k}
+    st [i1], i2
+end
+    movi i1, #{home(node)+RES}
+    st [i1], i2
+    halt
+end
+
+program bfly
+    movi i4, #{node+1}         ; running sum starts at the own contribution
+    movi i2, #{dipsync}
+repeat k = 0 .. ROUNDS-1
+    movi i1, #{home(xor(node, 1 << k)) + MB + k}
+    send i1, i2, i4, #1        ; ship the running sum to round k's partner
+    movi i3, #{home(node) + MB + k}
+    ldsy.fe i5, [i3]           ; receive the partner's running sum
+    add i4, i4, i5
+end
+    movi i6, #{home(node)+RES}
+    st [i6], i4
+    halt
+end
+
+phase touch
+load touch on all vthread=3 cluster=3
+run 100000
+
+phase reduce
+load bfly on all
+run 300000
+
+expect mem node=0 addr=home(0)+RES value=nodes*(nodes+1)/2
+expect mem node=1 addr=home(1)+RES value=nodes*(nodes+1)/2
+expect mem node=2 addr=home(2)+RES value=nodes*(nodes+1)/2
+expect mem node=3 addr=home(3)+RES value=nodes*(nodes+1)/2

@@ -1,0 +1,20 @@
+; DSL re-expression of the E4 loop-synchronization experiment's 2-H-Thread
+; configuration (internal/core LoopSyncExperiment): the Figure 6 kernel,
+; H-Thread 0 broadcasting the loop condition through gcc1 and H-Thread 1
+; acknowledging through gcc3, for 100 lock-step iterations. The interlock
+; is correct iff both H-Threads saw every iteration.
+;
+; Pinned bit-identical to the hand-written experiment across all engines
+; by TestDSLMatchesHandWritten.
+
+workload "Figure 6 loop synchronization, 2 H-Threads"
+mesh 1
+const ITERS 100
+
+generate ls loopsync hthreads=2 iters=ITERS
+
+load ls on node 0               ; leader on cluster 0, follower on cluster 1
+run ITERS*200+10000
+
+expect reg node=0 cluster=0 reg=1 value=ITERS
+expect reg node=0 cluster=1 reg=1 value=ITERS

@@ -1,0 +1,25 @@
+; DSL re-expression of the distributed grid-smoothing workload on a
+; 4-node mesh (internal/core runMeshSmooth, the E13 512-element row): a
+; staging phase first-touches and fills each node's chunk of u on
+; V-Thread 3 / cluster 3, then the smoothing pass v[j] = u[j-1] + u[j] +
+; u[j+1] runs on every node with remote halo reads at chunk boundaries.
+;
+; Pinned bit-identical to the hand-written generator across all engines
+; by TestDSLMatchesHandWritten.
+
+workload "block-distributed grid smoothing, 4 nodes"
+mesh 4
+const TOTAL 512
+
+generate sstage smooth_stage total=TOTAL
+generate swork smooth_work total=TOTAL
+
+phase stage
+load sstage on all vthread=3 cluster=3
+run 5000000
+
+phase smooth
+load swork on all
+run 10000000
+
+check smooth total=TOTAL

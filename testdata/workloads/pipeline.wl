@@ -1,0 +1,86 @@
+; Producer/consumer pipeline: node 0 streams K items into node 1's
+; buffer through sync-bit stores, each middle node consumes an item with
+; ldsy.fe, doubles it, and forwards it to its successor, and the last
+; node accumulates. Flow control is entirely the word-level
+; full/empty bits: a stage can run ahead in its slot index but can
+; never read an item its predecessor has not delivered.
+
+workload "producer/consumer pipeline"
+mesh 3
+const K   8                ; items through the pipeline
+const BUF 352              ; per-node buffer words [BUF, BUF+K)
+
+program touch
+    movi i1, #{home(node)+BUF}
+    movi i2, #0
+    movi i3, #0
+    movi i4, #{K}
+tloop:
+    st [i1], i2
+    add i1, i1, #1
+    add i3, i3, #1
+    lt i5, i3, i4
+    brt i5, tloop
+    halt
+end
+
+program produce
+    movi i1, #{home(1)+BUF}
+    movi i2, #{dipsync}
+    movi i3, #0
+    movi i4, #{K}
+ploop:
+    add i5, i3, #1             ; item j carries value j+1
+    add i6, i1, i3
+    send i6, i2, i5, #1
+    add i3, i3, #1
+    lt i7, i3, i4
+    brt i7, ploop
+    halt
+end
+
+program relay
+    movi i1, #{home(node)+BUF}
+    movi i9, #{home(node+1)+BUF}
+    movi i2, #{dipsync}
+    movi i3, #0
+    movi i4, #{K}
+rloop:
+    add i8, i1, i3
+    ldsy.fe i5, [i8]           ; wait for item j
+    add i5, i5, i5             ; transform: double it
+    add i6, i9, i3
+    send i6, i2, i5, #1        ; forward downstream
+    add i3, i3, #1
+    lt i7, i3, i4
+    brt i7, rloop
+    halt
+end
+
+program consume
+    movi i1, #{home(node)+BUF}
+    movi i3, #0
+    movi i4, #{K}
+    movi i10, #0
+cloop:
+    add i8, i1, i3
+    ldsy.fe i5, [i8]
+    add i10, i10, i5
+    add i3, i3, #1
+    lt i7, i3, i4
+    brt i7, cloop
+    halt
+end
+
+phase touch
+load touch on all vthread=3 cluster=3
+run 200000
+
+phase stream
+load produce on node 0
+load relay on nodes 1 nodes-2
+load consume on node nodes-1
+run 500000
+
+; One relay stage doubles each item: sum = 2 * (1 + ... + K) = K*(K+1).
+expect reg node=nodes-1 reg=10 value=K*(K+1)

@@ -1,0 +1,96 @@
+; Red-black sweep: a two-color Gauss-Seidel update over a 128-element
+; grid block-distributed across 4 nodes. The grid is strided through the
+; flat shared address space — element j lives at virtual word
+; 64 + j*128, so chunk n falls inside node n's home range and the halo
+; neighbours at chunk boundaries are transparently remote. The red phase
+; replaces every even interior element with the sum of its (odd,
+; untouched) neighbours; a machine-wide barrier (the phase boundary);
+; then the black phase updates the odd elements from the red results,
+; reading red values across node boundaries at every chunk edge.
+
+workload "red-black sweep, 4 nodes"
+mesh 4
+const TOTAL  128
+const CHUNK  32            ; TOTAL / nodes
+const STRIDE 128           ; words between consecutive elements
+const BASE   64            ; element 0's virtual address
+
+; u[j] = j%17 + 1, each node first-touching its own chunk.
+program stage
+    movi i1, #{BASE + node*CHUNK*STRIDE}
+    movi i2, #{node*CHUNK}      ; global element index j
+    movi i3, #0
+    movi i4, #{CHUNK}
+    movi i10, #17
+sloop:
+    mod i5, i2, i10
+    add i5, i5, #1
+    st [i1], i5
+    add i1, i1, #{STRIDE}
+    add i2, i2, #1
+    add i3, i3, #1
+    lt i6, i3, i4
+    brt i6, sloop
+    halt
+end
+
+; One color's sweep: j from start to bound (exclusive), step 2, with
+; u[j] = u[j-1] + u[j+1]. i1 tracks &u[j-1]; the loads at the chunk's
+; first element reach into the predecessor node's home range.
+program red
+    movi i1, #{BASE + (max(node*CHUNK, 2) - 1)*STRIDE}
+    movi i2, #{max(node*CHUNK, 2)}
+    movi i3, #{min((node+1)*CHUNK, TOTAL-1)}
+    movi i4, #{2*STRIDE}
+loop:
+    ld i5, [i1]
+    ld i6, [i1+{2*STRIDE}]
+    add i7, i5, i6
+    st [i1+{STRIDE}], i7
+    add i1, i1, i4
+    add i2, i2, #2
+    lt i9, i2, i3
+    brt i9, loop
+    halt
+end
+
+program black
+    movi i1, #{BASE + node*CHUNK*STRIDE}    ; &u[lo+1-1]
+    movi i2, #{node*CHUNK + 1}
+    movi i3, #{min((node+1)*CHUNK, TOTAL-1)}
+    movi i4, #{2*STRIDE}
+loop:
+    ld i5, [i1]
+    ld i6, [i1+{2*STRIDE}]
+    add i7, i5, i6
+    st [i1+{STRIDE}], i7
+    add i1, i1, i4
+    add i2, i2, #2
+    lt i9, i2, i3
+    brt i9, loop
+    halt
+end
+
+phase stage
+load stage on all vthread=3 cluster=3
+run 500000
+
+phase red
+load red on all
+run 500000
+
+phase black
+load black on all vthread=1
+run 500000
+
+; black(1) = u0(0) + red(2) = u0(0) + u0(1) + u0(3)
+expect mem node=0 addr=BASE+1*STRIDE value=(0%17+1)+(1%17+1)+(3%17+1)
+; black(31) = red(30) + red(32): the remote red value of node 1's first
+; element crosses the 0/1 chunk boundary
+expect mem node=0 addr=BASE+31*STRIDE value=(29%17+1)+2*(31%17+1)+(33%17+1)
+; black(63) crosses the 1/2 boundary
+expect mem node=1 addr=BASE+63*STRIDE value=(61%17+1)+2*(63%17+1)+(65%17+1)
+; red(126) is the last red element and black leaves it alone
+expect mem node=3 addr=BASE+126*STRIDE value=(125%17+1)+(127%17+1)
+; the grid boundary element is never written
+expect mem node=3 addr=BASE+127*STRIDE value=127%17+1

@@ -1,0 +1,59 @@
+; Ring all-reduce through synchronizing memory: node n contributes the
+; value n+1, the running sum travels the ring once through each node's
+; mailbox word, and the full total lands back at node 0. Hand-offs use
+; the machine's word-level synchronization bits end to end — the sender
+; SENDs through the runtime's remote-write-sync dispatch pointer
+; (dipsync), which stores the word and marks it full, and the receiver's
+; ldsy.fe faults-and-retries until then (Sections 2 and 3.3 mechanisms,
+; composed at machine scale).
+
+workload "ring all-reduce over sync bits"
+mesh 4
+const MB 320               ; mailbox word offset in each node's home range
+
+; First-touch every mailbox at its home so its page is mapped and its
+; sync bit starts empty.
+program touch
+    movi i1, #{home(node)+MB}
+    movi i2, #0
+    st [i1], i2
+    halt
+end
+
+; Node 0 injects its contribution, then waits for the total to come
+; around.
+program seed
+    movi i1, #{home(1)+MB}
+    movi i2, #{dipsync}
+    movi i3, #1                ; node 0's contribution
+    send i1, i2, i3, #1
+    movi i4, #{home(0)+MB}
+    ldsy.fe i5, [i4]           ; blocks (via fault retry) until the ring closes
+    halt
+end
+
+; Every other node: wait for the partial sum, add its own contribution,
+; pass it on.
+program relay
+    movi i4, #{home(node)+MB}
+    ldsy.fe i5, [i4]
+    add i5, i5, #{node+1}
+    movi i1, #{home((node+1)%nodes)+MB}
+    movi i2, #{dipsync}
+    send i1, i2, i5, #1
+    halt
+end
+
+phase touch
+load touch on all vthread=3 cluster=3
+run 100000
+
+phase ring
+load seed on node 0
+load relay on nodes 1 nodes-1
+run 300000
+
+; Total = 1 + 2 + ... + nodes, both in node 0's register and in its
+; mailbox word.
+expect reg node=0 reg=5 value=nodes*(nodes+1)/2
+expect mem node=0 addr=home(0)+MB value=nodes*(nodes+1)/2

@@ -1,0 +1,28 @@
+; DSL re-expression of the E3 stencil experiment's 7-point / 2 H-Thread
+; configuration (internal/core runStencil): residuals r_i = i+1 at the
+; kernel's RBase (0x100), u = 10 at UAddr (0x180), the Figure 5(b)
+; two-cluster schedule from the stencil generator, and the paper's
+; expected result u' = u + a*r_c + b*sum(neighbours) = 10 + 2*7 + 3*21.
+;
+; This file is pinned bit-identical to the hand-written experiment across
+; all engines by TestDSLMatchesHandWritten.
+
+workload "7-point stencil on 2 H-Threads (Figure 5b)"
+mesh 1
+
+generate st7 stencil points=7 hthreads=2
+
+maplocal node=0 page=0          ; page 0 primed read/write, like the harness
+poke node=0 addr=0x100 float=1.0    ; r_u
+poke node=0 addr=0x101 float=2.0    ; r_d
+poke node=0 addr=0x102 float=3.0    ; r_n
+poke node=0 addr=0x103 float=4.0    ; r_s
+poke node=0 addr=0x104 float=5.0    ; r_e
+poke node=0 addr=0x105 float=6.0    ; r_w
+poke node=0 addr=0x106 float=7.0    ; r_c
+poke node=0 addr=0x180 float=10.0   ; u
+
+load st7 on node 0              ; clusters 0 and 1, privileged
+run 100000
+
+expect fmem node=0 addr=0x180 float=87.0
