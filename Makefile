@@ -3,18 +3,20 @@
 # matrix is too slow under the race detector's instrumentation), the
 # checkpoint round-trip gate, an examples link pass, an end-to-end run of
 # every checked-in workload scenario (testdata/workloads/*.wl under
-# msim), a one-shot benchmark smoke pass (every benchmark runs once, so a
-# panicking or regressed-to-failure benchmark breaks CI without paying
-# for measurement), and a benchdiff over the two most recent
-# BENCH_<n>.json records (any metric delta or disappearance between
-# records is a determinism break, which fails; wall time is advisory
-# only, compared under a tolerance).
+# msim), the fault-injection soak and a snapshot-decoder fuzzing smoke
+# (the supervision layer's containment contracts, see DESIGN.md
+# "Supervised runs & fault injection"), a one-shot benchmark smoke pass
+# (every benchmark runs once, so a panicking or regressed-to-failure
+# benchmark breaks CI without paying for measurement), and a benchdiff
+# over the two most recent BENCH_<n>.json records (any metric delta or
+# disappearance between records is a determinism break, which fails;
+# wall time is advisory only, compared under a tolerance).
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup checkpoint examples wl bench-smoke bench benchdiff
+.PHONY: ci build vet test race speedup checkpoint examples wl faults fuzz-smoke bench-smoke bench benchdiff
 
-ci: build vet test race speedup checkpoint examples wl bench-smoke benchdiff
+ci: build vet test race speedup checkpoint examples wl faults fuzz-smoke bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -61,6 +63,20 @@ wl:
 		echo "msim -workload $$f"; \
 		$(GO) run ./cmd/msim -workload $$f >/dev/null || exit 1; \
 	done; echo "wl: all scenarios OK"
+
+# Deterministic fault-injection soak (cmd/mbench/faults.go): injected
+# panics at chosen (chip, cycle) sites, stalls, budget cutoffs, crash
+# dumps, and seeded snapshot-stream corruptions must all be contained by
+# the supervision layer, identically under every engine.
+faults:
+	$(GO) run ./cmd/mbench -faults
+
+# Native fuzzing smoke over the snapshot decoder: corrupt stream =>
+# descriptive error, never a panic, never a half-mutated machine.
+# Minimization is capped so the 10s budget is spent fuzzing rather than
+# shrinking ~100KB snapshot inputs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s -fuzzminimizetime 5x ./internal/machine
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

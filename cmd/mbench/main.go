@@ -25,6 +25,9 @@
 //	mbench -exp table1    # one experiment by name
 //	mbench -json          # machine-readable results: per-experiment
 //	                      # metrics (cycles etc.) plus host ns wall time
+//	mbench -faults        # deterministic fault-injection soak (faults.go):
+//	                      # injected panics/stalls/corrupt snapshots must
+//	                      # all be contained by the supervision layer
 package main
 
 import (
@@ -273,7 +276,16 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by name")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (metrics + wall time per experiment)")
 	wlGlob := flag.String("wl", "testdata/workloads/*.wl", "glob of workload scenarios to run as experiments (\"\" disables)")
+	faults := flag.Bool("faults", false, "run the deterministic fault-injection soak instead of the experiments")
 	flag.Parse()
+
+	if *faults {
+		if err := runFaultSoak(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: fault soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scenarios, err := scenarioExperiments(*wlGlob)
 	if err != nil {

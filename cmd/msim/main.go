@@ -26,15 +26,32 @@
 // In workload mode the mesh shape, caching mode, cycle budgets, and
 // placement all come from the scenario file, so -nodes/-node/-vthread/
 // -cluster/-cycles and the snapshot flags do not combine with -workload;
-// the engine flags (-naive, -workers) and -trace do.
+// the engine flags (-naive, -workers), -trace, and the supervision flags
+// (-timeout, -crash-dump) do.
+//
+// Every run is supervised (internal/guard): panics are contained,
+// -timeout (or a scenario's deadline/budget directives) cuts off runaway
+// runs between cycles, and -crash-dump names a file that receives a
+// regular machine snapshot on any crash or cutoff — load it back with
+// -restore to replay the failure. The exit code classifies the outcome:
+//
+//	0  success
+//	1  scenario fault (failed expectation, program fault, bad input file)
+//	2  usage error (bad flags or arguments)
+//	3  timeout or cycle-budget exhaustion (supervision watchdog fired)
+//	4  internal crash (contained panic; a bug in the simulator)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/machine"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -47,6 +64,7 @@ var flagGroups = []struct {
 	{"run control", []string{"nodes", "node", "vthread", "cluster", "cycles", "trace"}},
 	{"engine", []string{"naive", "workers", "caching"}},
 	{"snapshot", []string{"save", "restore"}},
+	{"supervision", []string{"timeout", "crash-dump"}},
 	{"workload", []string{"workload"}},
 }
 
@@ -65,13 +83,16 @@ func main() {
 	// Snapshot.
 	restorePath := flag.String("restore", "", "restore machine state from this snapshot before running")
 	savePath := flag.String("save", "", "write a machine snapshot to this file after the run")
+	// Supervision.
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog; 0 disables (a scenario's deadline directive still applies)")
+	crashDump := flag.String("crash-dump", "", "write a machine snapshot here on crash, timeout, or budget exhaustion")
 	// Workload.
 	workloadPath := flag.String("workload", "", "run a declarative workload scenario (.wl file)")
 
 	flag.Usage = usage
 	flag.Parse()
 
-	engine := core.Options{NaiveEngine: *naive, Workers: *workers}
+	engine := core.Options{NaiveEngine: *naive, Workers: *workers, Timeout: *timeout, CrashDump: *crashDump}
 	if *workloadPath != "" {
 		if flag.NArg() != 0 {
 			usageErr("-workload runs a scenario file; the positional program argument does not apply")
@@ -138,9 +159,15 @@ func main() {
 	if err := s.LoadASM(*node, *vthread, *clusterID, string(src)); err != nil {
 		fatal(err)
 	}
-	ran, err := s.Run(*cycles)
+	ran, err := s.RunSupervised(*cycles, guard.Options{Timeout: *timeout, DumpPath: *crashDump})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "msim: %v\n", err)
+		reportFailure(err)
+		if guard.IsHang(err) {
+			// A wedged run goroutine still owns the machine; don't touch it
+			// further (no register dump, no -save), just classify and leave.
+			os.Exit(3)
+		}
+		os.Exit(exitCode(err))
 	}
 
 	fmt.Printf("completed in %d cycles\n\ninteger registers (node %d, vthread %d, cluster %d):\n",
@@ -169,9 +196,6 @@ func main() {
 		}
 		fmt.Printf("\nsnapshot written to %s\n", *savePath)
 	}
-	if err != nil {
-		os.Exit(1)
-	}
 }
 
 // runWorkload compiles and runs a .wl scenario, printing the per-phase
@@ -179,11 +203,14 @@ func main() {
 func runWorkload(path string, engine core.Options, showTrace bool) {
 	sc, err := core.ScenarioFromFile(path)
 	if err != nil {
+		// Compile errors are positional wdsl errors ("file:line:col: msg");
+		// print them verbatim, they already point at the offending token.
 		fatal(err)
 	}
 	res, s, err := sc.RunSim(engine)
 	if err != nil {
-		fatal(err)
+		reportFailure(err)
+		os.Exit(exitCode(err))
 	}
 	fmt.Printf("workload: %s\n", sc.Title())
 	fmt.Printf("mesh:     %dx%dx%d", sc.Plan.Dims[0], sc.Plan.Dims[1], sc.Plan.Dims[2])
@@ -238,24 +265,50 @@ func usage() {
 	fmt.Fprintf(w, "\nSee docs/wdsl.md for the workload scenario language.\n")
 }
 
-// saveSnapshot writes the machine state to path atomically enough for a
-// CLI: create, save, close, rename on success.
+// saveSnapshot writes the machine state to path with the shared atomic
+// temp-file-and-rename discipline (snap.WriteFileAtomic), so an
+// interrupted save never leaves a torn snapshot at path.
 func saveSnapshot(s *core.Sim, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+	return snap.WriteFileAtomic(path, s.Save)
+}
+
+// reportFailure prints a run failure the way a user should see it: the
+// one-line classification, the supervisor's livelock/deadlock diagnostic
+// when there is one, and where the crash dump went — never a raw Go
+// stack trace (those stay in *guard.CrashError.Stack for bug reports).
+func reportFailure(err error) {
+	fmt.Fprintf(os.Stderr, "msim: %v\n", err)
+	var diag, dump string
+	var ce *guard.CrashError
+	var se *guard.StallError
+	switch {
+	case errors.As(err, &ce):
+		diag, dump = ce.Diagnostic, ce.DumpPath
+	case errors.As(err, &se):
+		diag, dump = se.Diagnostic, se.DumpPath
 	}
-	if err := s.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	if diag != "" {
+		fmt.Fprintf(os.Stderr, "\nmachine state at cutoff:\n%s\n", diag)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+	if dump != "" {
+		fmt.Fprintf(os.Stderr, "\ncrash dump written to %s (replay with msim -restore %s)\n", dump, dump)
 	}
-	return os.Rename(tmp, path)
+}
+
+// exitCode classifies a run error per the documented table: 3 for
+// watchdog cutoffs (wall clock, cycle budget, hang, or the plain -cycles
+// bound expiring), 4 for a contained internal panic, 1 for everything
+// else (failed expectations, program faults).
+func exitCode(err error) int {
+	var ce *guard.CrashError
+	if errors.As(err, &ce) {
+		return 4
+	}
+	var se *guard.StallError
+	if errors.As(err, &se) || errors.Is(err, machine.ErrCycleLimit) {
+		return 3
+	}
+	return 1
 }
 
 // usageErr reports a flag validation error on one line and exits 2, the

@@ -327,6 +327,15 @@ func (c *Chip) FlushTrace() {
 // injects it (FlushNet) after the chip phase of the current cycle.
 func (c *Chip) send(m *noc.Message) { c.outbox = append(c.outbox, m) }
 
+// OutboxLen reports the number of produced-but-undrained outbox messages
+// — normally zero between cycles, so a non-zero depth in a stall
+// diagnostic points at an aborted chip phase (see guard.Diagnose).
+func (c *Chip) OutboxLen() int { return len(c.outbox) }
+
+// PendingResends reports the messages queued for return-to-sender retry,
+// a common shape of apparent livelock (the destination keeps refusing).
+func (c *Chip) PendingResends() int { return len(c.resends) }
+
 // FlushNet injects this chip's buffered messages into the shared network,
 // in the order they were produced. now must be the cycle the messages were
 // buffered on — injection timing (readyAt, sequence numbers) is then

@@ -24,11 +24,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/chip"
 	"repro/internal/cluster"
 	"repro/internal/gp"
+	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -72,6 +74,22 @@ type Options struct {
 	// across the worker shards from observed load and never affects
 	// simulated results.
 	RebalanceEvery int64
+	// Timeout is the wall-clock watchdog for supervised execution
+	// (Scenario.Run/RunSim): exceeding it stops the run between cycles
+	// and reports a *guard.StallError. 0 defers to the scenario file's
+	// deadline directive (and disables the watchdog if the file has
+	// none). Supervision never alters simulated state — supervised runs
+	// are bit-identical to unsupervised ones.
+	Timeout time.Duration
+	// CycleBudget caps the total machine cycles a supervised scenario
+	// may advance, across all its run phases; exhaustion is reported as
+	// a *guard.StallError at a deterministic cycle. 0 defers to the
+	// scenario file's budget directive.
+	CycleBudget int64
+	// CrashDump, when non-empty, is where supervised execution writes a
+	// crash-dump snapshot (a regular `msim -restore`-loadable snapshot)
+	// on a panic, timeout, or budget exhaustion.
+	CrashDump string
 }
 
 // defaultNaiveEngine makes every subsequently built Sim use the naive
@@ -217,6 +235,17 @@ func (s *Sim) FReg(node, vthread, cl, reg int) uint64 {
 
 // Run executes until completion (see machine.Run) or maxCycles.
 func (s *Sim) Run(maxCycles int64) (int64, error) { return s.M.Run(maxCycles) }
+
+// RunSupervised is Run under a guard.Supervisor: panics are contained as
+// *guard.CrashError, opt's wall-clock and cycle watchdogs are enforced,
+// and on failure a diagnostic (and, when opt.DumpPath is set, a
+// restorable crash-dump snapshot) is attached. Simulated state is
+// bit-identical to an unsupervised Run. If the returned error satisfies
+// guard.IsHang, the machine is wedged and must be abandoned without
+// calling Close.
+func (s *Sim) RunSupervised(maxCycles int64, opt guard.Options) (int64, error) {
+	return guard.New(s.M, opt).Run(maxCycles)
+}
 
 // RunUntil steps until pred holds.
 func (s *Sim) RunUntil(pred func() bool, maxCycles int64) (int64, error) {

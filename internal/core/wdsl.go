@@ -10,9 +10,12 @@ package core
 // picks up testdata/workloads/*.wl).
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
+	"repro/internal/guard"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/wdsl"
 	"repro/internal/workload"
@@ -84,7 +87,24 @@ func (sc *Scenario) Run(o Options) (*ScenarioResult, error) {
 // RunSim is Run, additionally returning the simulator for post-run
 // inspection (console output, trace events, registers). The machine is
 // already closed; its final state remains readable.
+//
+// Execution is supervised (internal/guard): a panic anywhere in the plan
+// or the engines surfaces as a *guard.CrashError, and the watchdogs —
+// the caller's Options.Timeout/CycleBudget, else the scenario file's
+// deadline/budget directives — cut off runaway runs as *guard.StallError,
+// with a diagnostic and (when Options.CrashDump is set) a restorable
+// crash-dump snapshot attached. Supervision never changes simulated
+// results. In the one unrecoverable case — the error satisfies
+// guard.IsHang — the machine is abandoned un-Closed, because a wedged
+// run goroutine still owns it.
 func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
+	gopt := guard.Options{Timeout: o.Timeout, CycleBudget: o.CycleBudget, DumpPath: o.CrashDump}
+	if gopt.Timeout == 0 {
+		gopt.Timeout = sc.Plan.Deadline
+	}
+	if gopt.CycleBudget == 0 {
+		gopt.CycleBudget = sc.Plan.CycleBudget
+	}
 	o.Nodes = 0
 	o.Dims.X, o.Dims.Y, o.Dims.Z = sc.Plan.Dims[0], sc.Plan.Dims[1], sc.Plan.Dims[2]
 	o.Caching = sc.Plan.Caching
@@ -92,16 +112,26 @@ func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer s.M.Close()
-	res, err := sc.runOn(s)
+	sup := guard.New(s.M, gopt)
+	var res *ScenarioResult
+	err = sup.Do(func() error {
+		var e error
+		res, e = sc.runOn(s, sup)
+		return e
+	})
+	if !guard.IsHang(err) {
+		s.M.Close()
+	}
 	if err != nil {
 		return nil, s, err
 	}
 	return res, s, nil
 }
 
-// runOn executes the plan's steps on a booted simulator.
-func (sc *Scenario) runOn(s *Sim) (*ScenarioResult, error) {
+// runOn executes the plan's steps on a booted simulator, routing run
+// phases through the supervisor so the scenario-wide cycle budget clamps
+// them.
+func (sc *Scenario) runOn(s *Sim, sup *guard.Supervisor) (*ScenarioResult, error) {
 	env := workload.Env{
 		Nodes:              s.M.NumNodes(),
 		HomeBase:           s.HomeBase,
@@ -111,7 +141,7 @@ func (sc *Scenario) runOn(s *Sim) (*ScenarioResult, error) {
 	res := &ScenarioResult{}
 	for i := range sc.Plan.Steps {
 		st := &sc.Plan.Steps[i]
-		if err := sc.step(s, env, st, res); err != nil {
+		if err := sc.step(s, env, st, sup, res); err != nil {
 			return nil, err
 		}
 	}
@@ -120,7 +150,7 @@ func (sc *Scenario) runOn(s *Sim) (*ScenarioResult, error) {
 	return res, nil
 }
 
-func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, res *ScenarioResult) error {
+func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, sup *guard.Supervisor, res *ScenarioResult) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("%s: %s", st.Pos, fmt.Sprintf(format, args...))
 	}
@@ -164,8 +194,15 @@ func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, res *S
 		return nil
 
 	case workload.PlanRun:
-		cycles, err := s.Run(st.Budget)
+		cycles, err := sup.RunPhase(st.Budget)
 		if err != nil {
+			// Watchdog classes must reach the supervisor unwrapped —
+			// fail()'s positional formatting would break errors.As/Is and
+			// rob Do of the chance to attach diagnostics and the dump.
+			var se *guard.StallError
+			if errors.As(err, &se) || errors.Is(err, machine.ErrStopped) {
+				return err
+			}
 			return fail("%v", err)
 		}
 		name := st.Phase

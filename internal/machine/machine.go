@@ -20,8 +20,11 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chip"
 	"repro/internal/cluster"
@@ -30,6 +33,19 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 )
+
+// ErrStopped is wrapped into the error Run and RunUntil return when an
+// external stop request (RequestStop, or a Close racing the run) aborts
+// the run before completion. The machine state is a consistent
+// between-cycles state — the run simply ended early — so it can be
+// inspected, snapshotted, or resumed. Detect with errors.Is.
+var ErrStopped = errors.New("run stopped")
+
+// ErrCycleLimit is wrapped into the error Run returns when the machine is
+// still busy after maxCycles — cycle-budget exhaustion, as opposed to a
+// thread fault or a stop request. Detect with errors.Is; supervisors use
+// it to classify global-budget exhaustion (internal/guard).
+var ErrCycleLimit = errors.New("no completion")
 
 // NoEvent is the NextEvent sentinel meaning "no component will ever act
 // again without external input" (see DESIGN.md, "The NextEvent contract").
@@ -91,6 +107,23 @@ type Machine struct {
 	workers int
 	pool    *chipPool
 	closed  bool
+
+	// Supervision plumbing (DESIGN.md, "Supervised runs & fault
+	// injection"). runMu serializes Run/RunUntil against Close, so a
+	// session teardown can close a machine whose run is still in flight:
+	// Close raises stopReq, the run observes it at its next loop head and
+	// returns ErrStopped, and Close then proceeds under the lock. stopReq
+	// is also the watchdog stop flag guard sets out-of-band; it is polled
+	// only at the run-loop head (an existing O(1) sync point), so the
+	// per-cycle hot path gains one uncontended atomic load and simulated
+	// state is never affected — stopping only decides where the run ends,
+	// never what any cycle computes. cycleGauge mirrors Cycle at the same
+	// point so monitors on other goroutines can observe progress without
+	// racing the engine. probe is the fault-injection hook (SetFaultProbe).
+	runMu      sync.Mutex
+	stopReq    atomic.Bool
+	cycleGauge atomic.Int64
+	probe      func(node int, cycle int64)
 
 	// arrivalNodes tracks the nodes with delivered-but-unconsumed network
 	// messages (arrivalMark is its membership bitmap), maintained
@@ -181,9 +214,20 @@ func New(cfg Config) *Machine {
 // after materializing any deferred idle-chip bookkeeping (see step). It is
 // optional: an unreachable Machine releases the workers via a GC cleanup.
 // Close is idempotent — a second Close (including one racing the GC
-// cleanup after a finished Run) is a harmless no-op. The machine must not
-// be stepped after Close — the parallel chip phase panics if it is.
+// cleanup after a finished Run) is a harmless no-op — and safe to call
+// concurrently with an in-flight Run or RunUntil: it raises the stop
+// request, waits for the run to observe it at its next loop head and
+// return ErrStopped, and only then tears the pool down (the shutdown
+// ordering a session server needs). The machine must not be stepped after
+// Close — the parallel chip phase panics if it is.
 func (m *Machine) Close() {
+	m.stopReq.Store(true)
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	// The request has served its purpose once the lock is held; do not
+	// poison a caller who (historically legal on serial machines) runs
+	// again after Close.
+	m.stopReq.Store(false)
 	if m.closed {
 		return
 	}
@@ -191,6 +235,43 @@ func (m *Machine) Close() {
 	if m.pool != nil {
 		m.pool.sync(m.Cycle)
 		m.pool.stop()
+	}
+}
+
+// RequestStop asks an in-flight Run or RunUntil to return at its next
+// loop head with an error wrapping ErrStopped. It is safe from any
+// goroutine — this is the watchdog stop flag (see internal/guard): the
+// flag is polled only at the run-loop head, so it cannot change any
+// simulated state, only where the run ends. The request is sticky until
+// ClearStop; a Run entered with the flag raised returns immediately.
+func (m *Machine) RequestStop() { m.stopReq.Store(true) }
+
+// ClearStop lowers the stop flag. Supervisors call it before starting a
+// supervised run so a stale request from a previous run cannot abort the
+// new one.
+func (m *Machine) ClearStop() { m.stopReq.Store(false) }
+
+// CycleGauge reports the machine cycle most recently observed at a run's
+// loop head. Unlike reading Cycle directly, it is safe from any
+// goroutine while a run is in flight, which is what watchdog monitors
+// need to distinguish a livelocked-but-advancing simulation from a
+// wedged one. Between runs it lags Cycle (it is only updated inside
+// Run/RunUntil).
+func (m *Machine) CycleGauge() int64 { return m.cycleGauge.Load() }
+
+// SetFaultProbe installs fn to be called immediately before every chip
+// step, with the chip's node index and the current cycle — the
+// fault-injection hook (see internal/faultinject). Under the parallel
+// engine the probe runs on worker goroutines, concurrently for distinct
+// nodes, so fn must be safe for that; a panic out of fn is contained
+// exactly like a panic out of the chip step itself. Install probes only
+// between runs (the same contract as program loads); nil removes the
+// probe. Probes are for tests and fault drills — the nil check they cost
+// per stepped chip is the entire production overhead.
+func (m *Machine) SetFaultProbe(fn func(node int, cycle int64)) {
+	m.probe = fn
+	if m.pool != nil {
+		m.pool.probe = fn
 	}
 }
 
@@ -214,7 +295,10 @@ func (m *Machine) StepAll() {
 	if m.pool != nil {
 		m.pool.sync(now)
 	}
-	for _, c := range m.Chips {
+	for i, c := range m.Chips {
+		if m.probe != nil {
+			m.probe(i, now)
+		}
 		c.Step(now)
 	}
 	m.drainChipOutput(now)
@@ -262,6 +346,7 @@ func (m *Machine) step(parallel bool) {
 				panic("machine: parallel chip phase stepped after Close (do not call Step after Machine.Close)")
 			}
 			m.pool = newChipPool(m.Chips, m.workers, m.Cfg.RebalanceEvery)
+			m.pool.probe = m.probe
 			// Backstop for machines that are never Closed (the experiment
 			// harnesses build thousands): release the workers when the
 			// machine becomes unreachable. The cleanup must not capture m.
@@ -286,6 +371,9 @@ func (m *Machine) step(parallel bool) {
 		stepped := m.steppedBuf[:0]
 		for i, c := range m.Chips {
 			if c.NextEvent(now) <= now {
+				if m.probe != nil {
+					m.probe(i, now)
+				}
 				c.Step(now)
 				stepped = append(stepped, i)
 			} else {
@@ -475,6 +563,12 @@ func (m *Machine) Quiescent() bool {
 // instruction issue anywhere with all queues drained.
 const quietWindow = 32
 
+// QuietWindow is quietWindow for external bound arithmetic: Run's cycle
+// bound is padded by this many detection cycles, so a caller that must
+// stop the machine at an exact cycle (internal/guard's cycle budgets)
+// subtracts it back out of the bound it passes.
+const QuietWindow = quietWindow
+
 // Run steps until all user threads are done and the machine has been
 // quiescent (no queued work and no instruction issued) for quietWindow
 // cycles, or maxCycles elapse. It returns the cycles executed (excluding
@@ -488,6 +582,8 @@ const quietWindow = 32
 // per-cycle stall statistics — are replayed exactly by Machine.skip, so
 // cycle counts, state, and traces stay bit-identical to the naive loop.
 func (m *Machine) Run(maxCycles int64) (int64, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
 	// The active-set scheduler defers idle chips' per-cycle bookkeeping;
 	// materialize it before returning so callers observe exactly the
 	// per-chip cycle counts and stall statistics of the serial engines.
@@ -499,6 +595,14 @@ func (m *Machine) Run(maxCycles int64) (int64, error) {
 	idle := int64(0)
 	prevIssued := m.issuedTotal
 	for m.Cycle < bound {
+		// Stop flag and progress gauge: the only supervision cost on the
+		// hot path, one atomic load and one atomic store per loop
+		// iteration. Stopping cannot change simulated state — the run
+		// merely ends between two cycles.
+		m.cycleGauge.Store(m.Cycle)
+		if m.stopReq.Load() {
+			return m.Cycle - start, fmt.Errorf("machine: run stopped at cycle %d: %w", m.Cycle, ErrStopped)
+		}
 		// The loop-head checks read the incrementally maintained activity
 		// counters (see noteStepped) — O(1) instead of the historical
 		// O(nodes) UserDone/Quiescent/totalIssued scans every busy cycle,
@@ -520,10 +624,11 @@ func (m *Machine) Run(maxCycles int64) (int64, error) {
 			m.fastForward(bound, &idle)
 		}
 	}
+	m.cycleGauge.Store(m.Cycle)
 	if m.UserDone() {
 		return m.Cycle - start, m.FaultError()
 	}
-	return m.Cycle - start, fmt.Errorf("machine: no completion within %d cycles", maxCycles)
+	return m.Cycle - start, fmt.Errorf("machine: %w within %d cycles", ErrCycleLimit, maxCycles)
 }
 
 // fastForward jumps the clock to the machine's next event (clamped to
@@ -607,11 +712,17 @@ func (m *Machine) Rebalances() int64 {
 // a parallel-configured machine: with no fast-forward amortizing it, the
 // per-cycle barrier would dominate, and the result is identical anyway.
 func (m *Machine) RunUntil(pred func() bool, maxCycles int64) (int64, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
 	m.syncDeferred() // pred may read per-chip state a prior Run deferred
 	m.WakeAll()
 	m.recomputeActive()
 	start := m.Cycle
 	for m.Cycle-start < maxCycles {
+		m.cycleGauge.Store(m.Cycle)
+		if m.stopReq.Load() {
+			return m.Cycle - start, fmt.Errorf("machine: run stopped at cycle %d: %w", m.Cycle, ErrStopped)
+		}
 		if pred() {
 			return m.Cycle - start, nil
 		}

@@ -26,13 +26,39 @@ package machine
 // evenly loaded.
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/chip"
 )
+
+// WorkerPanic is the panic value the parallel chip phase re-raises on the
+// machine goroutine when a worker goroutine's chip step panicked. Worker
+// panics are recovered at the shard boundary — the worker still arrives at
+// the gather barrier, so the machine never deadlocks on a crashed cycle —
+// and the panic value, the worker-side stack, and the offending (node,
+// cycle) are carried across so a supervisor (internal/guard) can convert
+// the crash into a typed error with full forensics. Without a supervisor
+// the re-raised panic crashes the process just as the original would have,
+// only with better attribution.
+type WorkerPanic struct {
+	Node  int   // chip the shard was stepping, -1 if the panic hit between chips
+	Cycle int64 // cycle being stepped
+	Value any   // the original panic value
+	Stack []byte // worker goroutine stack at the point of the panic
+}
+
+func (wp *WorkerPanic) Error() string {
+	return fmt.Sprintf("chip panic at node %d, cycle %d: %v", wp.Node, wp.Cycle, wp.Value)
+}
+
+// CrashSite reports the offending node and cycle (the guard.crashSite
+// interface).
+func (wp *WorkerPanic) CrashSite() (node int, cycle int64) { return wp.Node, wp.Cycle }
 
 // Dispatch mailbox sentinels. Real dispatches carry the cycle number, which
 // is non-negative and strictly increasing, so both sentinels are distinct
@@ -81,6 +107,13 @@ type shard struct {
 	// outboxes and trace buffers after the barrier.
 	stepped []int32
 
+	// Panic containment: stepping is the chip currently being stepped
+	// (-1 between chips), and crash records a panic recovered out of this
+	// shard's cycle. Both are worker-owned during the chip phase and read
+	// by the machine after the barrier, like stepped.
+	stepping int32
+	crash    *WorkerPanic
+
 	// Dispatch mailbox: the machine stores the cycle to run (or quitCycle),
 	// the worker spins on it and parks on wakeCh when the spin budget runs
 	// out. parked holds the mailbox value the worker parked on (notParked
@@ -127,6 +160,16 @@ type chipPool struct {
 
 	stopped  atomic.Bool
 	stopOnce sync.Once
+
+	// probe is the machine's fault-injection hook (Machine.SetFaultProbe),
+	// called on the worker goroutine immediately before each chip step.
+	probe func(node int, cycle int64)
+
+	// crashed poisons the pool after a worker panic was re-raised: the
+	// shard due-heaps may have lost entries for the aborted cycle, so a
+	// further step would silently violate the due-cache invariant instead
+	// of failing. Stepping a crashed pool re-raises the original panic.
+	crashed *WorkerPanic
 }
 
 // newChipPool starts min(workers, len(chips)) workers over contiguous
@@ -238,6 +281,9 @@ func (p *chipPool) step(now int64) {
 	if p.stopped.Load() {
 		panic("machine: parallel chip phase stepped after Close (the worker pool is stopped; do not call Step after Machine.Close)")
 	}
+	if p.crashed != nil {
+		panic(p.crashed)
+	}
 	dispatched := int32(0)
 	for i := range p.shards {
 		if p.shards[i].next <= now {
@@ -260,6 +306,21 @@ func (p *chipPool) step(now int64) {
 		}
 	}
 	p.awaitGather(now)
+	// Re-raise any worker panic on the machine goroutine, after the
+	// barrier so every worker is parked and the machine is the only
+	// goroutine touching simulation state (a supervisor that recovers the
+	// panic can therefore safely snapshot it). With several same-cycle
+	// crashes the lowest node wins, so the raised panic is deterministic.
+	var crash *WorkerPanic
+	for i := range p.shards {
+		if c := p.shards[i].crash; c != nil && (crash == nil || c.Node < crash.Node) {
+			crash = c
+		}
+	}
+	if crash != nil {
+		p.crashed = crash
+		panic(crash)
+	}
 	p.maybeRebalance()
 }
 
@@ -318,12 +379,34 @@ func (p *chipPool) worker(w int) {
 		if now == quitCycle {
 			return
 		}
-		p.runShard(s, now)
+		p.runShardContained(s, now)
 		if p.remaining.Add(-1) == 0 && p.mparked.CompareAndSwap(now, notParked) {
 			p.done <- struct{}{}
 		}
 		last = now
 	}
+}
+
+// runShardContained is runShard with panic containment: a panic out of a
+// chip step (or an injected fault probe) is recovered here, on the worker
+// goroutine where the stack is still deep, and recorded on the shard; the
+// worker then arrives at the gather barrier normally so the machine
+// goroutine is never left waiting on a crashed cycle. step re-raises the
+// recorded panic as a *WorkerPanic after the barrier.
+func (p *chipPool) runShardContained(s *shard, now int64) {
+	defer func() {
+		if v := recover(); v != nil {
+			if wp, ok := v.(*WorkerPanic); ok {
+				s.crash = wp
+				return
+			}
+			s.crash = &WorkerPanic{Node: int(s.stepping), Cycle: now, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	s.crash = nil
+	s.stepping = -1
+	p.runShard(s, now)
+	s.stepping = -1
 }
 
 // awaitGather blocks the machine until every worker dispatched for cycle
@@ -361,10 +444,14 @@ func (p *chipPool) runShard(s *shard, now int64) {
 			continue // stale
 		}
 		c := p.chips[e.node]
+		s.stepping = e.node
 		if d := now - c.Cycle; d > 0 {
 			c.SkipCycles(d)
 		}
 		if c.NextEvent(now) <= now {
+			if p.probe != nil {
+				p.probe(int(e.node), now)
+			}
 			c.Step(now)
 			p.work[e.node]++
 			s.stepped = append(s.stepped, e.node)

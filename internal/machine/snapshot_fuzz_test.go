@@ -1,0 +1,142 @@
+package machine_test
+
+// FuzzSnapshotDecode pins the snapshot decoder's robustness contract
+// (DESIGN.md "Checkpoint/restore", and the crash-dump path in
+// internal/guard that depends on it): feeding Restore an arbitrary byte
+// stream must either succeed or return a descriptive error — never
+// panic, never allocate unboundedly, and never leave the machine
+// half-mutated. The corpus is seeded with real snapshots taken from the
+// checked-in workload scenarios (plus deterministic faultinject
+// corruptions of them), so the fuzzer starts deep inside the decode
+// paths instead of bouncing off the magic-word check.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// fuzzNodes is the fuzz target machine's mesh size. One node keeps the
+// per-exec save/restore cost (and so the fuzzing throughput) reasonable
+// while matching the checked-in 1-node scenarios (loopsync2, stencil7x2),
+// whose snapshots pass the config-compatibility check and exercise the
+// full per-chip decode; the 4-node scenarios seed the mismatch path.
+const fuzzNodes = 1
+
+// newFuzzTarget boots the machine corrupt streams are restored into: a
+// default-config mesh with the runtime installed and a little execution
+// history, so the pre-restore state is not trivially zero.
+func newFuzzTarget() (*machine.Machine, []byte, error) {
+	s, err := core.NewSim(core.Options{Nodes: fuzzNodes})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.LoadASM(0, 0, 0, "movi i1, #6\nmul i2, i1, #7\nhalt"); err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.M.Run(500); err != nil {
+		return nil, nil, err
+	}
+	var base bytes.Buffer
+	if err := s.M.Save(&base); err != nil {
+		return nil, nil, err
+	}
+	return s.M, base.Bytes(), nil
+}
+
+// scenarioSnapshot runs a checked-in .wl scenario to completion and
+// returns the finished machine's snapshot.
+func scenarioSnapshot(f *testing.F, name string) []byte {
+	sc, err := core.ScenarioFromFile("../../testdata/workloads/" + name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, s, err := sc.RunSim(core.Options{})
+	if err != nil {
+		f.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := s.M.Save(&buf); err != nil {
+		f.Fatalf("%s: save: %v", name, err)
+	}
+	return buf.Bytes()
+}
+
+// Per-worker-process fuzz state: the target machine is built lazily on
+// the first execution and reset to its baseline after every accepted
+// stream, so executions are independent. fuzzBefore caches the target's
+// current serialized state (it only changes when a stream is accepted),
+// halving the per-exec save cost; a failed Restore that mutated the
+// machine still trips the comparison, just possibly one exec later.
+var (
+	fuzzTarget   *machine.Machine
+	fuzzBaseline []byte
+	fuzzBefore   []byte
+)
+
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed corpus: real snapshots from the checked-in scenarios, the
+	// target's own baseline, deterministic corruptions of a matching
+	// snapshot, and a couple of header-path probes.
+	_, base, err := newFuzzTarget()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base)
+	f.Add(scenarioSnapshot(f, "loopsync2.wl"))  // mesh 1: full decode path
+	f.Add(scenarioSnapshot(f, "stencil7x2.wl")) // mesh 1: full decode path
+	f.Add(scenarioSnapshot(f, "ringreduce.wl")) // mesh 4: dims-mismatch path
+	c := faultinject.NewCorrupter(0x5eed)
+	f.Add(c.Truncate(base))
+	f.Add(c.FlipBit(base))
+	f.Add(c.Scramble(base))
+	f.Add(base[:16])          // magic + version only
+	f.Add([]byte("MSIMSNAP")) // ASCII lookalike, not the little-endian magic
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if fuzzTarget == nil {
+			m, baseline, err := newFuzzTarget()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fuzzTarget, fuzzBaseline, fuzzBefore = m, baseline, baseline
+		}
+		m := fuzzTarget
+
+		if err := m.Restore(bytes.NewReader(data)); err != nil {
+			// Rejected: the error must say something, and the machine must
+			// be bit-identical to its pre-restore state (proved by
+			// re-serializing it).
+			if msg := err.Error(); msg == "" || !strings.Contains(msg, "restore") {
+				t.Fatalf("undescriptive restore error: %q", msg)
+			}
+			var after bytes.Buffer
+			if err := m.Save(&after); err != nil {
+				t.Fatalf("save after failed restore: %v", err)
+			}
+			if !bytes.Equal(fuzzBefore, after.Bytes()) {
+				t.Fatal("failed Restore left the machine half-mutated")
+			}
+			return
+		}
+
+		// Accepted: whatever state was adopted must round-trip through
+		// save/restore — an accepted stream is a valid checkpoint.
+		var again bytes.Buffer
+		if err := m.Save(&again); err != nil {
+			t.Fatalf("save after accepted restore: %v", err)
+		}
+		if err := m.Restore(bytes.NewReader(again.Bytes())); err != nil {
+			t.Fatalf("accepted stream does not round-trip: %v", err)
+		}
+		if err := m.Restore(bytes.NewReader(fuzzBaseline)); err != nil {
+			t.Fatalf("baseline reset: %v", err)
+		}
+		fuzzBefore = fuzzBaseline
+	})
+}

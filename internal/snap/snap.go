@@ -17,7 +17,38 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
+
+// WriteFileAtomic writes a snapshot-style stream to path with
+// crash-dump discipline: the stream is produced into a sibling temporary
+// file and renamed into place only if every write (and Close) succeeded,
+// so a reader never observes a half-written snapshot at path — exactly
+// the property `msim -restore` and forensic tooling rely on. Any failure
+// removes the temporary file and reports the first error.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
 
 // Writer serializes primitives to an io.Writer. The first write error
 // sticks; subsequent calls are no-ops.

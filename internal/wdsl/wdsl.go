@@ -38,6 +38,7 @@ package wdsl
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // File is the parsed form of one .wl scenario.
@@ -51,7 +52,17 @@ type File struct {
 	// lowering can point at the offending number.
 	MeshDimPos [3]Pos
 	Caching    bool
-	Consts     []Const
+	// Deadline is the scenario's wall-clock watchdog (the deadline
+	// directive, e.g. `deadline 30s`); 0 when absent. Budget is its
+	// cycle-count watchdog (`budget EXPR`, evaluated against the consts
+	// during lowering); nil when absent. Both are supervision bounds for
+	// internal/guard — they never alter simulated state, only when a
+	// runaway scenario is cut off.
+	Deadline    time.Duration
+	DeadlinePos Pos
+	Budget      Expr
+	BudgetPos   Pos
+	Consts      []Const
 	// Programs in declaration order; Lookup finds one by name.
 	Programs []*ProgramDecl
 	Steps    []*Step
@@ -221,6 +232,14 @@ func (p *parser) run() error {
 			if err := p.parseConst(t); err != nil {
 				return err
 			}
+		case "deadline":
+			if err := p.parseDeadline(t, kw.pos); err != nil {
+				return err
+			}
+		case "budget":
+			if err := p.parseBudget(t, kw.pos); err != nil {
+				return err
+			}
 		case "program", "generate":
 			decl, err := p.parseProgram(t, kw)
 			if err != nil {
@@ -252,7 +271,7 @@ func (p *parser) run() error {
 			return errAt(p.file, kw.pos, "'repeat' is only valid inside a program block")
 		default:
 			return errAt(p.file, kw.pos,
-				"unknown directive %q (expected workload, mesh, caching, const, program, generate, phase, maplocal, poke, load, run, expect, or check)", kw.text)
+				"unknown directive %q (expected workload, mesh, caching, const, deadline, budget, program, generate, phase, maplocal, poke, load, run, expect, or check)", kw.text)
 		}
 	}
 	return nil
@@ -342,6 +361,69 @@ func (p *parser) parseConst(t *toks) error {
 		return err
 	}
 	p.f.Consts = append(p.f.Consts, Const{Pos: name.pos, Name: name.text, Expr: e})
+	return nil
+}
+
+// parseDeadline parses `deadline NUMBER UNIT` (e.g. `deadline 30s`,
+// `deadline 1.5m`). The lexer splits "30s" into a number and an
+// identifier, so the unit is a separate token; ms, s, and m are accepted.
+func (p *parser) parseDeadline(t *toks, pos Pos) error {
+	if p.f.Deadline != 0 {
+		return errAt(p.file, pos, "duplicate deadline directive")
+	}
+	num := t.peek()
+	var v float64
+	switch num.kind {
+	case tokNumber:
+		v = float64(num.ival)
+	case tokFloat:
+		v = num.fval
+	default:
+		return errAt(p.file, num.pos, "deadline wants a number with a unit (e.g. 30s, 500ms), got %s", num.describe())
+	}
+	t.next()
+	unit, err := t.expectIdent()
+	if err != nil {
+		return err
+	}
+	var scale time.Duration
+	switch unit.text {
+	case "ms":
+		scale = time.Millisecond
+	case "s":
+		scale = time.Second
+	case "m":
+		scale = time.Minute
+	default:
+		return errAt(p.file, unit.pos, "deadline unit must be ms, s, or m, got %q", unit.text)
+	}
+	if err := t.expectEOL(); err != nil {
+		return err
+	}
+	d := time.Duration(v * float64(scale))
+	if d <= 0 {
+		return errAt(p.file, num.pos, "deadline must be positive")
+	}
+	p.f.Deadline = d
+	p.f.DeadlinePos = pos
+	return nil
+}
+
+// parseBudget parses `budget EXPR` — the scenario's total cycle budget.
+// The expression may use consts and nodes; the lowering evaluates it.
+func (p *parser) parseBudget(t *toks, pos Pos) error {
+	if p.f.Budget != nil {
+		return errAt(p.file, pos, "duplicate budget directive")
+	}
+	e, err := parseExpr(t)
+	if err != nil {
+		return err
+	}
+	if err := t.expectEOL(); err != nil {
+		return err
+	}
+	p.f.Budget = e
+	p.f.BudgetPos = pos
 	return nil
 }
 

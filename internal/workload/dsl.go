@@ -25,6 +25,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/wdsl"
@@ -90,7 +91,13 @@ type Plan struct {
 	Title   string
 	Dims    [3]int
 	Caching bool
-	Steps   []PlanStep
+	// Deadline and CycleBudget are the scenario's supervision bounds
+	// (the deadline/budget directives): the executor runs the plan under
+	// internal/guard with these as the wall-clock and total-cycle
+	// watchdogs. Zero means unbounded. Neither affects simulated state.
+	Deadline    time.Duration
+	CycleBudget int64
+	Steps       []PlanStep
 }
 
 // Mesh size limits for DSL scenarios: generous for experiments, tight
@@ -136,7 +143,14 @@ func FromDSL(f *wdsl.File) (*Plan, error) {
 		lo.vars[c.Name] = v
 	}
 
-	p := &Plan{Title: f.Title, Dims: f.Mesh, Caching: f.Caching}
+	p := &Plan{Title: f.Title, Dims: f.Mesh, Caching: f.Caching, Deadline: f.Deadline}
+	if f.Budget != nil {
+		b, err := lo.staticIn(f.Budget, 0, "budget", 1, 1<<40, f.BudgetPos)
+		if err != nil {
+			return nil, err
+		}
+		p.CycleBudget = b
+	}
 	for _, s := range f.Steps {
 		steps, err := lo.lowerStep(s)
 		if err != nil {
