@@ -5,7 +5,9 @@
 # every checked-in workload scenario (testdata/workloads/*.wl under
 # msim), the fault-injection soak and a snapshot-decoder fuzzing smoke
 # (the supervision layer's containment contracts, see DESIGN.md
-# "Supervised runs & fault injection"), a one-shot benchmark smoke pass
+# "Supervised runs & fault injection"), the msimd service chaos soak
+# (mbench -serve: checkpoint-based recovery must be bit-identical, see
+# docs/msimd.md), a one-shot benchmark smoke pass
 # (every benchmark runs once, so a panicking or regressed-to-failure
 # benchmark breaks CI without paying for measurement), and a benchdiff
 # over the two most recent BENCH_<n>.json records (any metric delta or
@@ -14,9 +16,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup checkpoint examples wl faults fuzz-smoke bench-smoke bench benchdiff
+.PHONY: ci build vet test race speedup checkpoint examples wl faults serve fuzz-smoke bench-smoke bench benchdiff
 
-ci: build vet test race speedup checkpoint examples wl faults fuzz-smoke bench-smoke benchdiff
+ci: build vet test race speedup checkpoint examples wl faults serve fuzz-smoke bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -70,6 +72,14 @@ wl:
 # the supervision layer, identically under every engine.
 faults:
 	$(GO) run ./cmd/mbench -faults
+
+# Service chaos-recovery soak (cmd/mbench/serve.go): a chaos-injected
+# msimd server (worker panics, wall-clock stalls) must recover every
+# faulted session from its checkpoints bit-identically to a chaos-free
+# control server, shed load when the admission queue fills, and
+# drain/re-adopt suspended sessions across a restart. See docs/msimd.md.
+serve:
+	$(GO) run ./cmd/mbench -serve
 
 # Native fuzzing smoke over the snapshot decoder: corrupt stream =>
 # descriptive error, never a panic, never a half-mutated machine.

@@ -277,11 +277,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (metrics + wall time per experiment)")
 	wlGlob := flag.String("wl", "testdata/workloads/*.wl", "glob of workload scenarios to run as experiments (\"\" disables)")
 	faults := flag.Bool("faults", false, "run the deterministic fault-injection soak instead of the experiments")
+	serveSoak := flag.Bool("serve", false, "run the msimd service chaos-recovery soak instead of the experiments")
 	flag.Parse()
 
 	if *faults {
 		if err := runFaultSoak(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mbench: fault soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveSoak {
+		if err := runServeSoak(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: serve soak: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -97,18 +97,9 @@ func main() {
 		if flag.NArg() != 0 {
 			usageErr("-workload runs a scenario file; the positional program argument does not apply")
 		}
-		// The scenario file owns the mesh, placement, caching mode, and
-		// cycle budgets; reject any explicitly-set flag it would silently
-		// override rather than drop the user's request on the floor.
-		incompatible := map[string]bool{
-			"nodes": true, "node": true, "vthread": true, "cluster": true,
-			"cycles": true, "caching": true, "save": true, "restore": true,
+		if name := workloadFlagConflict(flag.Visit); name != "" {
+			usageErr("-%s does not combine with -workload (the scenario file defines it)", name)
 		}
-		flag.Visit(func(f *flag.Flag) {
-			if incompatible[f.Name] {
-				usageErr("-%s does not combine with -workload (the scenario file defines it)", f.Name)
-			}
-		})
 		runWorkload(*workloadPath, engine, *showTrace)
 		return
 	}
@@ -311,10 +302,32 @@ func exitCode(err error) int {
 	return 1
 }
 
+// workloadFlagConflict scans the explicitly-set flags (via a
+// flag.Visit-shaped walker, so tests can drive it with their own
+// FlagSet) and returns the name of the first one -workload does not
+// combine with, or "" when the set is compatible. The scenario file owns
+// the mesh, placement, caching mode, cycle budgets, and machine state,
+// so any of those set on the command line would be silently overridden —
+// reject them rather than drop the user's request on the floor.
+func workloadFlagConflict(visit func(func(*flag.Flag))) string {
+	incompatible := map[string]bool{
+		"nodes": true, "node": true, "vthread": true, "cluster": true,
+		"cycles": true, "caching": true, "save": true, "restore": true,
+	}
+	conflict := ""
+	visit(func(f *flag.Flag) {
+		if conflict == "" && incompatible[f.Name] {
+			conflict = f.Name
+		}
+	})
+	return conflict
+}
+
 // usageErr reports a flag validation error on one line and exits 2, the
 // conventional usage-error status.
 func usageErr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "msim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'msim -h' for the full flag reference")
 	os.Exit(2)
 }
 

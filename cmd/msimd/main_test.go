@@ -1,0 +1,197 @@
+package main
+
+// End-to-end test of the msimd binary: build it, start it on an
+// ephemeral port, submit scenarios over HTTP, SIGTERM it mid-session,
+// and assert the drain contract — exit code 0 and a checkpoint in the
+// spool for the in-flight session.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildMsimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "msimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startMsimd launches the daemon and waits for /healthz.
+func startMsimd(t *testing.T, bin, spool string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	// Ephemeral port: ask the kernel, then hand it to msimd. The tiny
+	// race window is acceptable in a test.
+	addr := freeAddr(t)
+	args := append([]string{"-addr", addr, "-spool", spool}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd, base
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("msimd did not come up")
+	return nil, ""
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// submit posts a scenario and returns the decoded session info.
+func submit(t *testing.T, base, name, src string) map[string]any {
+	t.Helper()
+	body := fmt.Sprintf(`{"name":%q,"source":%q}`, name, src)
+	resp, err := http.Post(base+"/api/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, b)
+	}
+	var info map[string]any
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func spinSrc(iters int) string {
+	return fmt.Sprintf("workload \"spin\"\nmesh 1\ngenerate sp spinloop iters=%d\nload sp on node 0\nrun 10000000\nexpect reg node=0 cluster=0 reg=1 value=%d\n", iters, iters)
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildMsimd(t)
+	spool := t.TempDir()
+
+	cmd, base := startMsimd(t, bin, spool, "-checkpoint-every", "8192")
+
+	// A quick session completes.
+	quick := submit(t, base, "quick.wl", spinSrc(500))
+	id := quick["id"].(string)
+	resp, err := http.Get(base + "/api/v1/sessions/" + id + "/wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done map[string]any
+	json.NewDecoder(resp.Body).Decode(&done)
+	resp.Body.Close()
+	if done["state"] != "done" {
+		t.Fatalf("quick session: %+v", done)
+	}
+	digest := done["digest"].(string)
+	if digest == "" {
+		t.Fatal("no digest")
+	}
+
+	// A long session gets SIGTERMed mid-run: drain must suspend it with a
+	// checkpoint and the process must exit 0.
+	long := submit(t, base, "long.wl", spinSrc(600000))
+	longID := long["id"].(string)
+	ckpt := filepath.Join(spool, longID+".ckpt")
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := os.Stat(ckpt); err == nil && st.Size() > 4096 {
+			break // a machine-bearing checkpoint landed
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("msimd exited non-zero after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("drained session left no checkpoint: %v", err)
+	}
+
+	// Restart over the same spool: the session is re-adopted and runs to
+	// completion; a fresh uninterrupted run of the same scenario on the
+	// same server must produce the identical digest.
+	cmd2, base2 := startMsimd(t, bin, spool, "-checkpoint-every", "8192")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	resp, err = http.Get(base2 + "/api/v1/sessions/" + longID + "/wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed map[string]any
+	json.NewDecoder(resp.Body).Decode(&resumed)
+	resp.Body.Close()
+	if resumed["state"] != "done" {
+		t.Fatalf("re-adopted session: %+v", resumed)
+	}
+
+	control := submit(t, base2, "control.wl", spinSrc(600000))
+	resp, err = http.Get(base2 + "/api/v1/sessions/" + control["id"].(string) + "/wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctrl map[string]any
+	json.NewDecoder(resp.Body).Decode(&ctrl)
+	resp.Body.Close()
+	if ctrl["state"] != "done" {
+		t.Fatalf("control session: %+v", ctrl)
+	}
+	if resumed["digest"] != ctrl["digest"] {
+		t.Fatalf("resumed digest %v != uninterrupted %v", resumed["digest"], ctrl["digest"])
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildMsimd(t)
+	for _, args := range [][]string{
+		{"-chaos", "wibble"},
+		{"-chaos", "panic=x"},
+		{"stray-arg"},
+	} {
+		cmd := exec.Command(bin, args...)
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("msimd %v: err %v, want exit 2", args, err)
+		}
+	}
+}

@@ -10,12 +10,10 @@ package core
 // picks up testdata/workloads/*.wl).
 
 import (
-	"errors"
 	"fmt"
 	"os"
 
 	"repro/internal/guard"
-	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/wdsl"
 	"repro/internal/workload"
@@ -105,10 +103,7 @@ func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
 	if gopt.CycleBudget == 0 {
 		gopt.CycleBudget = sc.Plan.CycleBudget
 	}
-	o.Nodes = 0
-	o.Dims.X, o.Dims.Y, o.Dims.Z = sc.Plan.Dims[0], sc.Plan.Dims[1], sc.Plan.Dims[2]
-	o.Caching = sc.Plan.Caching
-	s, err := NewSim(o)
+	s, err := sc.NewSim(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -128,29 +123,34 @@ func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
 	return res, s, nil
 }
 
+// NewSim boots a simulator for this scenario: the mesh dimensions and
+// caching mode always come from the scenario file; o selects the engine
+// and tracing environment.
+func (sc *Scenario) NewSim(o Options) (*Sim, error) {
+	o.Nodes = 0
+	o.Dims.X, o.Dims.Y, o.Dims.Z = sc.Plan.Dims[0], sc.Plan.Dims[1], sc.Plan.Dims[2]
+	o.Caching = sc.Plan.Caching
+	return NewSim(o)
+}
+
 // runOn executes the plan's steps on a booted simulator, routing run
 // phases through the supervisor so the scenario-wide cycle budget clamps
-// them.
+// them. This is ScenarioRun driven to completion in unsliced quanta; a
+// caller that needs to checkpoint or stream between quanta drives a
+// ScenarioRun itself (internal/serve does).
 func (sc *Scenario) runOn(s *Sim, sup *guard.Supervisor) (*ScenarioResult, error) {
-	env := workload.Env{
-		Nodes:              s.M.NumNodes(),
-		HomeBase:           s.HomeBase,
-		DIPRemoteWrite:     s.RT.DIPRemoteWrite,
-		DIPRemoteWriteSync: s.RT.DIPRemoteWriteSync,
-	}
-	res := &ScenarioResult{}
-	for i := range sc.Plan.Steps {
-		st := &sc.Plan.Steps[i]
-		if err := sc.step(s, env, st, sup, res); err != nil {
+	run := sc.NewRun(s)
+	for !run.Done() {
+		if _, err := run.Advance(sup, 0); err != nil {
 			return nil, err
 		}
 	}
-	res.TotalCycles = s.M.Cycle
-	res.Stats = s.Stats()
-	return res, nil
+	return run.Result(), nil
 }
 
-func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, sup *guard.Supervisor, res *ScenarioResult) error {
+// step executes one non-run plan step (run phases are ScenarioRun's
+// business: they need the supervisor's budget clamp and slicing).
+func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, res *ScenarioResult) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("%s: %s", st.Pos, fmt.Sprintf(format, args...))
 	}
@@ -191,25 +191,6 @@ func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, sup *g
 		for k, p := range progs {
 			s.LoadProgram(st.Node, st.VThread, st.Cluster+k, p, true)
 		}
-		return nil
-
-	case workload.PlanRun:
-		cycles, err := sup.RunPhase(st.Budget)
-		if err != nil {
-			// Watchdog classes must reach the supervisor unwrapped —
-			// fail()'s positional formatting would break errors.As/Is and
-			// rob Do of the chance to attach diagnostics and the dump.
-			var se *guard.StallError
-			if errors.As(err, &se) || errors.Is(err, machine.ErrStopped) {
-				return err
-			}
-			return fail("%v", err)
-		}
-		name := st.Phase
-		if name == "" {
-			name = fmt.Sprintf("phase%d", len(res.Phases))
-		}
-		res.Phases = append(res.Phases, PhaseResult{Name: name, Cycles: cycles})
 		return nil
 
 	case workload.PlanExpectReg:

@@ -343,6 +343,68 @@ func TestCrashDumpRestoreResume(t *testing.T) {
 	}
 }
 
+// TestWatchdogStopSaveRestoreResume: a machine stopped mid-run by the
+// wall-clock watchdog is at a clean cycle boundary — machine.Save right
+// after the supervised Run returns must produce a snapshot from which a
+// fresh machine resumes bit-identically to the stopped original. This is
+// the foundation the serve checkpoint/retry path is built on, so it is
+// pinned here for both engines: the stop lands at an unpredictable cycle
+// (it races the wall clock), yet the saved state must be exact.
+func TestWatchdogStopSaveRestoreResume(t *testing.T) {
+	for _, workers := range []int{0, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			m := newM(t, 3, workers)
+			for i := 0; i < 3; i++ {
+				load(t, m, i, spinSrc)
+			}
+			s := guard.New(m, guard.Options{Timeout: 50 * time.Millisecond})
+			_, err := s.Run(1 << 40)
+			var se *guard.StallError
+			if !errors.As(err, &se) || se.Kind != guard.StallTimeout {
+				t.Fatalf("want StallTimeout, got %v", err)
+			}
+
+			// Save the stopped machine and restore into a fresh one.
+			var snap bytes.Buffer
+			if err := m.Save(&snap); err != nil {
+				t.Fatalf("Save after watchdog stop: %v", err)
+			}
+			stopCycle := m.Cycle
+			r := newM(t, 3, workers)
+			if err := r.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatalf("Restore of watchdog-stop snapshot: %v", err)
+			}
+			if r.Cycle != stopCycle {
+				t.Fatalf("restored at cycle %d, want the stop cycle %d", r.Cycle, stopCycle)
+			}
+
+			// Resume BOTH machines the same fixed distance; their full final
+			// snapshots must be byte-identical — the restored machine is the
+			// stopped one, not an approximation of it.
+			if _, err := m.Run(5000); !errors.Is(err, machine.ErrCycleLimit) {
+				t.Fatalf("original not resumable after stop: %v", err)
+			}
+			if _, err := r.Run(5000); !errors.Is(err, machine.ErrCycleLimit) {
+				t.Fatalf("restored machine not resumable: %v", err)
+			}
+			var a, b bytes.Buffer
+			if err := m.Save(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Save(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("resumed states diverge: %d vs %d byte snapshots (stop cycle %d)",
+					a.Len(), b.Len(), stopCycle)
+			}
+			if finalCount(m, 0) != finalCount(r, 0) {
+				t.Fatalf("counts diverge: %d vs %d", finalCount(m, 0), finalCount(r, 0))
+			}
+		})
+	}
+}
+
 // TestDumpFailureDoesNotMask: an unwritable dump path degrades to a note
 // in the diagnostic; the primary error class is unchanged.
 func TestDumpFailureDoesNotMask(t *testing.T) {

@@ -1,0 +1,264 @@
+package serve
+
+// The HTTP/JSON API (documented for users in docs/msimd.md):
+//
+//	POST   /api/v1/sessions            submit a scenario   202 | 400/422/429/503
+//	GET    /api/v1/sessions            list sessions       200
+//	GET    /api/v1/sessions/{id}       session info        200 | 404
+//	GET    /api/v1/sessions/{id}/wait  block until terminal 200 | 404
+//	GET    /api/v1/sessions/{id}/stream NDJSON event stream 200 | 404
+//	DELETE /api/v1/sessions/{id}       cancel              200 | 404 | 409
+//	GET    /api/v1/stats               server counters     200
+//	GET    /healthz                    liveness + drain    200 | 503
+//
+// Submission body: JSON {"name": "...", "source": "<.wl text>"}, or the
+// raw .wl text with any non-JSON Content-Type (name from ?name=).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the server's HTTP API.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sessions", sv.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sessions", sv.handleList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", sv.handleGet)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/wait", sv.handleWait)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", sv.handleStream)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", sv.handleCancel)
+	mux.HandleFunc("GET /api/v1/stats", sv.handleStats)
+	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, apiError{Error: detail, Code: code})
+}
+
+// submitRequest is the JSON submission body.
+type submitRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// maxSubmitBytes bounds a submission body; .wl scenarios are small, and
+// an unbounded read is a trivial way to hurt a shared server.
+const maxSubmitBytes = 1 << 20
+
+func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "body", err.Error())
+		return
+	}
+	if len(body) > maxSubmitBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body",
+			fmt.Sprintf("submission exceeds %d bytes", maxSubmitBytes))
+		return
+	}
+	req := submitRequest{Name: r.URL.Query().Get("name")}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "body", fmt.Sprintf("request body: %v", err))
+			return
+		}
+	} else {
+		req.Source = string(body)
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "body", "empty scenario source")
+		return
+	}
+
+	s, err := sv.Submit(req.Name, req.Source)
+	if err != nil {
+		var rej *Rejection
+		if errors.As(err, &rej) {
+			status := map[string]int{
+				"parse":    http.StatusBadRequest,
+				"over-cap": http.StatusUnprocessableEntity,
+				"busy":     http.StatusTooManyRequests,
+				"draining": http.StatusServiceUnavailable,
+			}[rej.Code]
+			if status == 0 {
+				status = http.StatusInternalServerError
+			}
+			if rej.RetryAfter > 0 {
+				w.Header().Set("Retry-After",
+					fmt.Sprintf("%d", int((rej.RetryAfter+time.Second-1)/time.Second)))
+			}
+			writeError(w, status, rej.Code, rej.Detail)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.Info())
+}
+
+func (sv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := sv.List()
+	out := make([]Info, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (sv *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	s, ok := sv.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not-found",
+			fmt.Sprintf("no session %q", r.PathValue("id")))
+	}
+	return s, ok
+}
+
+func (sv *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s, ok := sv.session(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Info())
+	}
+}
+
+// handleWait blocks until the session is terminal (or ?timeout= expires,
+// or the client goes away) and returns its info. Suspended sessions
+// respond immediately: they will not progress in this process.
+func (sv *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.session(w, r)
+	if !ok {
+		return
+	}
+	var timeoutCh <-chan time.Time
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "timeout", err.Error())
+			return
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	for {
+		info, changed := s.watch()
+		if info.State.Terminal() || info.State == StateSuspended {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		select {
+		case <-changed:
+		case <-s.Done():
+		case <-timeoutCh:
+			writeJSON(w, http.StatusOK, info)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamEvent is one NDJSON line of the streaming endpoint.
+type streamEvent struct {
+	Event   string `json:"event"` // "state", "phase", "end"
+	State   State  `json:"state,omitempty"`
+	Phase   *Phase `json:"phase,omitempty"`
+	Session *Info  `json:"session,omitempty"` // on "end"
+}
+
+// handleStream emits session progress as NDJSON: a "state" event per
+// lifecycle transition, a "phase" event per completed run phase, and a
+// final "end" event carrying the full session info.
+func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.session(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev streamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+
+	lastState := State("")
+	sentPhases := 0
+	for {
+		info, changed := s.watch()
+		if info.State != lastState {
+			lastState = info.State
+			if !emit(streamEvent{Event: "state", State: info.State}) {
+				return
+			}
+		}
+		for sentPhases < len(info.Phases) {
+			p := info.Phases[sentPhases]
+			sentPhases++
+			if !emit(streamEvent{Event: "phase", Phase: &p}) {
+				return
+			}
+		}
+		if info.State.Terminal() || info.State == StateSuspended {
+			emit(streamEvent{Event: "end", Session: &info})
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.session(w, r)
+	if !ok {
+		return
+	}
+	if !s.Cancel() {
+		writeError(w, http.StatusConflict, "terminal",
+			fmt.Sprintf("session %s already %s", s.ID, s.Info().State))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Info())
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sv.Stats())
+}
+
+func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if sv.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}

@@ -1,0 +1,664 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// spinScenario is a tiny deterministic scenario: a counting loop of
+// iters iterations (roughly 3.5 cycles each) with a register check.
+func spinScenario(iters int) string {
+	return fmt.Sprintf(`workload "spin%d"
+mesh 1
+generate sp spinloop iters=%d
+load sp on node 0
+run 1000000
+expect reg node=0 cluster=0 reg=1 value=%d
+`, iters, iters, iters)
+}
+
+// testConfig is a fast-everything server config over a temp spool.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Spool:           t.TempDir(),
+		Workers:         2,
+		Queue:           64,
+		DefaultWall:     30 * time.Second,
+		DefaultCycles:   1 << 20,
+		CheckpointEvery: 256,
+		Retries:         3,
+		Backoff:         time.Millisecond,
+		BackoffCap:      10 * time.Millisecond,
+		Logf:            t.Logf,
+	}
+}
+
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	sv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sv.Drain)
+	return sv
+}
+
+func waitDone(t *testing.T, s *Session) Info {
+	t.Helper()
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("session %s did not reach a terminal state (state %s)", s.ID, s.Info().State)
+	}
+	return s.Info()
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	sv := mustServer(t, testConfig(t))
+	s, err := sv.Submit("spin.wl", spinScenario(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s)
+	if info.State != StateDone {
+		t.Fatalf("state %s, failure %q (%s)", info.State, info.Failure, info.FailureClass)
+	}
+	if info.Checks != 1 || len(info.Phases) != 1 {
+		t.Errorf("checks %d, phases %d; want 1, 1", info.Checks, len(info.Phases))
+	}
+	if info.TotalCycles < 600 {
+		t.Errorf("total cycles %d, want >= 600 (chaos tests rely on this)", info.TotalCycles)
+	}
+	if info.Digest == "" {
+		t.Error("no final-state digest")
+	}
+	if _, err := os.Stat(ckptPath(sv.cfg.Spool, s.ID)); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after completion: %v", err)
+	}
+}
+
+// digestOf runs a scenario to completion on sv and returns its digest.
+func digestOf(t *testing.T, sv *Server, name, src string) Info {
+	t.Helper()
+	s, err := sv.Submit(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s)
+	if info.State != StateDone {
+		t.Fatalf("%s: state %s, failure %q (%s)", name, info.State, info.Failure, info.FailureClass)
+	}
+	if info.Digest == "" {
+		t.Fatalf("%s: no digest", name)
+	}
+	return info
+}
+
+// TestCrashRecoveryBitIdentical is the chaos recovery proof at unit
+// scale: a session with an injected worker panic must complete after
+// retry with a final-state digest identical to a chaos-free control run.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	src := spinScenario(600)
+
+	control := mustServer(t, testConfig(t))
+	want := digestOf(t, control, "spin.wl", src)
+
+	cfg := testConfig(t)
+	cfg.Chaos = &Chaos{Seed: 42, PanicEvery: 1, MaxCycle: 500}
+	chaotic := mustServer(t, cfg)
+	got := digestOf(t, chaotic, "spin.wl", src)
+
+	if got.Retries == 0 {
+		t.Fatal("chaos session completed without retrying — the injected panic never fired")
+	}
+	if got.FailureClass != FailCrash {
+		t.Errorf("failure class %q, want %q", got.FailureClass, FailCrash)
+	}
+	if got.Digest != want.Digest {
+		t.Errorf("recovered digest %s != control %s", got.Digest, want.Digest)
+	}
+	if got.TotalCycles != want.TotalCycles || got.Checks != want.Checks {
+		t.Errorf("recovered run: %d cycles %d checks; control: %d cycles %d checks",
+			got.TotalCycles, got.Checks, want.TotalCycles, want.Checks)
+	}
+}
+
+// TestStallRecoveryBitIdentical injects a wall-clock stall that trips
+// the per-attempt deadline; the retry runs clean and must match the
+// control digest.
+func TestStallRecoveryBitIdentical(t *testing.T) {
+	src := spinScenario(600)
+
+	control := mustServer(t, testConfig(t))
+	want := digestOf(t, control, "spin.wl", src)
+
+	cfg := testConfig(t)
+	cfg.DefaultWall = 300 * time.Millisecond
+	cfg.Grace = 5 * time.Second // stalled step returns within grace: clean StallTimeout
+	cfg.Chaos = &Chaos{Seed: 7, StallEvery: 1, StallDelay: time.Second, MaxCycle: 500}
+	chaotic := mustServer(t, cfg)
+	got := digestOf(t, chaotic, "spin.wl", src)
+
+	if got.Retries == 0 {
+		t.Fatal("stalled session completed without retrying")
+	}
+	if got.FailureClass != FailStallTimeout {
+		t.Errorf("failure class %q, want %q", got.FailureClass, FailStallTimeout)
+	}
+	if got.Digest != want.Digest {
+		t.Errorf("recovered digest %s != control %s", got.Digest, want.Digest)
+	}
+}
+
+// TestHangRecovery drives the grace-expired path: the stalled step
+// outlives the grace, the machine is abandoned (never Closed), and the
+// retry still converges to the control digest.
+func TestHangRecovery(t *testing.T) {
+	src := spinScenario(600)
+
+	control := mustServer(t, testConfig(t))
+	want := digestOf(t, control, "spin.wl", src)
+
+	cfg := testConfig(t)
+	cfg.DefaultWall = 100 * time.Millisecond
+	cfg.Grace = 50 * time.Millisecond // expires while the probe still sleeps
+	cfg.Chaos = &Chaos{Seed: 11, StallEvery: 1, StallDelay: 700 * time.Millisecond, MaxCycle: 500}
+	chaotic := mustServer(t, cfg)
+	got := digestOf(t, chaotic, "spin.wl", src)
+
+	if got.Retries == 0 {
+		t.Fatal("hung session completed without retrying")
+	}
+	if got.FailureClass != FailStallHang {
+		t.Errorf("failure class %q, want %q", got.FailureClass, FailStallHang)
+	}
+	if got.Digest != want.Digest {
+		t.Errorf("recovered digest %s != control %s", got.Digest, want.Digest)
+	}
+}
+
+// TestNoCrossSessionInterference runs a chaos-doomed session next to
+// clean ones: the clean sessions must finish with digests matching their
+// chaos-free controls.
+func TestNoCrossSessionInterference(t *testing.T) {
+	srcs := []string{spinScenario(300), spinScenario(600), spinScenario(900)}
+
+	control := mustServer(t, testConfig(t))
+	var want []Info
+	for i, src := range srcs {
+		want = append(want, digestOf(t, control, fmt.Sprintf("c%d.wl", i), src))
+	}
+
+	cfg := testConfig(t)
+	cfg.Chaos = &Chaos{Seed: 3, PanicEvery: 2, MaxCycle: 250} // seqs 2, 4 panic
+	chaotic := mustServer(t, cfg)
+	var sessions []*Session
+	for i, src := range srcs {
+		s, err := chaotic.Submit(fmt.Sprintf("c%d.wl", i), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	crashed := 0
+	for i, s := range sessions {
+		info := waitDone(t, s)
+		if info.State != StateDone {
+			t.Fatalf("session %d: %s (%s: %s)", i, info.State, info.FailureClass, info.Failure)
+		}
+		if info.Retries > 0 {
+			crashed++
+		}
+		if info.Digest != want[i].Digest {
+			t.Errorf("session %d digest %s != control %s", i, info.Digest, want[i].Digest)
+		}
+	}
+	if crashed == 0 {
+		t.Error("no session was crashed by chaos; interference test proved nothing")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxNodes = 4
+	cfg.MaxCycles = 1 << 20
+	cfg.MaxWall = time.Minute
+	sv := mustServer(t, cfg)
+
+	reject := func(name, src, code string) {
+		t.Helper()
+		_, err := sv.Submit(name, src)
+		var rej *Rejection
+		if err == nil {
+			t.Errorf("%s: admitted, want %s rejection", name, code)
+			return
+		}
+		if ok := asRejection(err, &rej); !ok || rej.Code != code {
+			t.Errorf("%s: error %v, want code %s", name, err, code)
+		}
+	}
+	reject("parse", "workload \"x\"\nmesh 1\nbogus directive\n", "parse")
+	reject("mesh", "workload \"x\"\nmesh 8\ngenerate sp spinloop iters=4\nload sp on node 0\nrun 100\n", "over-cap")
+	reject("budget", "workload \"x\"\nmesh 1\nbudget 99999999999\ngenerate sp spinloop iters=4\nload sp on node 0\nrun 100\n", "over-cap")
+	reject("deadline", "workload \"x\"\nmesh 1\ndeadline 50m\ngenerate sp spinloop iters=4\nload sp on node 0\nrun 100\n", "over-cap")
+}
+
+func asRejection(err error, out **Rejection) bool {
+	r, ok := err.(*Rejection)
+	if ok {
+		*out = r
+	}
+	return ok
+}
+
+func TestQueueSheds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.Queue = 1
+	// Make the one worker slow so submissions pile up.
+	src := spinScenario(50000)
+	sv := mustServer(t, cfg)
+	var rejected bool
+	for i := 0; i < 20; i++ {
+		_, err := sv.Submit(fmt.Sprintf("q%d.wl", i), src)
+		var rej *Rejection
+		if asRejection(err, &rej) {
+			if rej.Code != "busy" {
+				t.Fatalf("rejection %v, want busy", err)
+			}
+			if rej.RetryAfter <= 0 {
+				t.Error("busy rejection without a Retry-After hint")
+			}
+			rejected = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rejected {
+		t.Error("20 submissions into a 1-deep queue never shed load")
+	}
+	if sv.Stats().Shed == 0 {
+		t.Error("shed counter not bumped")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	sv := mustServer(t, testConfig(t))
+	s, err := sv.Submit("spin.wl", spinScenario(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel() {
+		t.Fatal("cancel rejected")
+	}
+	info := waitDone(t, s)
+	if info.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", info.State)
+	}
+	if _, err := os.Stat(ckptPath(sv.cfg.Spool, s.ID)); !os.IsNotExist(err) {
+		t.Error("canceled session left its checkpoint in the spool")
+	}
+	if s.Cancel() {
+		t.Error("cancel of a terminal session accepted")
+	}
+}
+
+// TestDrainSuspendsAndReAdopts is the drain/restart contract: drain
+// checkpoints in-flight sessions as suspended, a new server over the
+// same spool re-adopts them, and the resumed result is bit-identical to
+// an uninterrupted run.
+func TestDrainSuspendsAndReAdopts(t *testing.T) {
+	src := spinScenario(20000)
+
+	control := mustServer(t, testConfig(t))
+	want := digestOf(t, control, "spin.wl", src)
+
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	sv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sv1.Submit("spin.wl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the session time to advance past at least one checkpoint, then
+	// drain mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s1.Info().Phases) == 0 && s1.Info().State != StateDone && time.Now().Before(deadline) {
+		if ck, err := readCheckpoint(ckptPath(cfg.Spool, s1.ID)); err == nil && len(ck.Machine) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sv1.Drain()
+	info := s1.Info()
+	if info.State == StateDone {
+		t.Skip("session finished before the drain landed; nothing to suspend")
+	}
+	if info.State != StateSuspended {
+		t.Fatalf("after drain: state %s, want suspended", info.State)
+	}
+	ck, err := readCheckpoint(ckptPath(cfg.Spool, s1.ID))
+	if err != nil {
+		t.Fatalf("suspended session has no readable checkpoint: %v", err)
+	}
+	if ck.ID != s1.ID {
+		t.Fatalf("checkpoint identity %s, want %s", ck.ID, s1.ID)
+	}
+
+	// Refusal while draining.
+	if _, err := sv1.Submit("late.wl", src); err == nil {
+		t.Error("submission accepted while draining")
+	}
+
+	// Boot a second server over the same spool: the session must be
+	// re-adopted and run to a bit-identical completion.
+	sv2 := mustServer(t, cfg)
+	if sv2.Stats().Adopted != 1 {
+		t.Fatalf("adopted %d sessions, want 1", sv2.Stats().Adopted)
+	}
+	s2, ok := sv2.Get(s1.ID)
+	if !ok {
+		t.Fatalf("re-adopted session %s not found", s1.ID)
+	}
+	got := waitDone(t, s2)
+	if got.State != StateDone {
+		t.Fatalf("resumed session: %s (%s: %s)", got.State, got.FailureClass, got.Failure)
+	}
+	if got.Digest != want.Digest {
+		t.Errorf("resumed digest %s != control %s", got.Digest, want.Digest)
+	}
+	if got.TotalCycles != want.TotalCycles {
+		t.Errorf("resumed cycles %d != control %d", got.TotalCycles, want.TotalCycles)
+	}
+}
+
+func TestBudgetExhaustionPermanent(t *testing.T) {
+	cfg := testConfig(t)
+	sv := mustServer(t, cfg)
+	src := "workload \"over\"\nmesh 1\nbudget 100\ngenerate sp spinloop iters=100000\nload sp on node 0\nrun 900000\n"
+	s, err := sv.Submit("over.wl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s)
+	if info.State != StateFailed || info.FailureClass != FailBudget {
+		t.Fatalf("state %s class %s, want failed/%s (failure %q)",
+			info.State, info.FailureClass, FailBudget, info.Failure)
+	}
+	if info.Retries != 0 {
+		t.Errorf("budget exhaustion was retried %d times; it is permanent", info.Retries)
+	}
+}
+
+func TestScenarioFailurePermanent(t *testing.T) {
+	sv := mustServer(t, testConfig(t))
+	src := "workload \"bad\"\nmesh 1\ngenerate sp spinloop iters=10\nload sp on node 0\nrun 100000\nexpect reg node=0 cluster=0 reg=1 value=11\n"
+	s, err := sv.Submit("bad.wl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, s)
+	if info.State != StateFailed || info.FailureClass != FailScenario {
+		t.Fatalf("state %s class %s, want failed/%s", info.State, info.FailureClass, FailScenario)
+	}
+	if !strings.Contains(info.Failure, "expect reg") {
+		t.Errorf("failure %q does not name the failing expectation", info.Failure)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := ckptPath(dir, "s000042")
+	want := &checkpoint{
+		ID: "s000042", Name: "x.wl", Source: "workload \"x\"\nmesh 1\n",
+		WallNanos: int64(time.Minute), CycleBudget: 123456, Retries: 2,
+		NextStep: 3, PhaseRan: 777, Checks: 4,
+		Phases:  []core.PhaseResult{{Name: "a", Cycles: 10}, {Name: "b", Cycles: 20}},
+		Machine: []byte{1, 2, 3, 4, 5},
+	}
+	if err := writeCheckpoint(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Name != want.Name || got.Source != want.Source ||
+		got.WallNanos != want.WallNanos || got.CycleBudget != want.CycleBudget ||
+		got.Retries != want.Retries || got.NextStep != want.NextStep ||
+		got.PhaseRan != want.PhaseRan || got.Checks != want.Checks ||
+		len(got.Phases) != len(want.Phases) || !bytes.Equal(got.Machine, want.Machine) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Corruption is an error, not a panic or a half-read.
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-3], 0o644)
+	if _, err := readCheckpoint(path); err == nil {
+		t.Error("truncated checkpoint decoded without error")
+	}
+	os.WriteFile(path, []byte("not a checkpoint at all"), 0o644)
+	if _, err := readCheckpoint(path); err == nil {
+		t.Error("garbage checkpoint decoded without error")
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("seed=9,panic=3,stall=5,delay=1500ms,maxcycle=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 9 || c.PanicEvery != 3 || c.StallEvery != 5 ||
+		c.StallDelay != 1500*time.Millisecond || c.MaxCycle != 2000 {
+		t.Fatalf("parsed %+v", c)
+	}
+	for _, bad := range []string{"panic", "panic=x", "wibble=1", "maxcycle=0"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+	// Determinism: same seq, same fault.
+	p1, d1 := c.probe(3, 4)
+	p2, d2 := c.probe(3, 4)
+	if (p1 == nil) != (p2 == nil) || d1 != d2 {
+		t.Errorf("probe derivation not deterministic: %q vs %q", d1, d2)
+	}
+	if _, d := c.probe(15, 4); !strings.Contains(d, "panic") {
+		t.Errorf("seq 15 (both panic and stall multiples): %q, want panic-wins", d)
+	}
+}
+
+// --- HTTP API ---
+
+func TestHTTPAPI(t *testing.T) {
+	sv := mustServer(t, testConfig(t))
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Health.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Submit via JSON.
+	body, _ := json.Marshal(submitRequest{Name: "spin.wl", Source: spinScenario(600)})
+	resp, err = http.Post(ts.URL+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || info.ID == "" {
+		t.Fatalf("submit: %d, %+v", resp.StatusCode, info)
+	}
+
+	// Wait for completion.
+	resp, err = http.Get(ts.URL + "/api/v1/sessions/" + info.ID + "/wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.State != StateDone || info.Digest == "" {
+		t.Fatalf("wait: %+v", info)
+	}
+
+	// Stream of a finished session: replay ends with an "end" event.
+	resp, err = http.Get(ts.URL + "/api/v1/sessions/" + info.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []streamEvent
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev streamEvent
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		events = append(events, ev)
+	}
+	resp.Body.Close()
+	if len(events) == 0 || events[len(events)-1].Event != "end" {
+		t.Fatalf("stream events: %+v", events)
+	}
+
+	// Raw text submission.
+	resp, err = http.Post(ts.URL+"/api/v1/sessions?name=raw.wl", "text/plain",
+		strings.NewReader(spinScenario(300)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("raw submit: %d", resp.StatusCode)
+	}
+
+	// Parse errors are 400 with a positional message.
+	resp, err = http.Post(ts.URL+"/api/v1/sessions", "text/plain", strings.NewReader("mesh mesh mesh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	json.NewDecoder(resp.Body).Decode(&apiErr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || apiErr.Code != "parse" {
+		t.Fatalf("bad scenario: %d %+v", resp.StatusCode, apiErr)
+	}
+
+	// List includes both sessions.
+	resp, err = http.Get(ts.URL + "/api/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Info
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 2 {
+		t.Fatalf("list: %d sessions, want 2", len(list))
+	}
+
+	// 404.
+	resp, err = http.Get(ts.URL + "/api/v1/sessions/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing session: %d", resp.StatusCode)
+	}
+
+	// Stats counted the work.
+	resp, err = http.Get(ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Submitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHTTPCancelAndDrainStatus(t *testing.T) {
+	sv := mustServer(t, testConfig(t))
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(submitRequest{Name: "spin.wl", Source: spinScenario(200000)})
+	resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info Info
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/sessions/"+info.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	s, _ := sv.Get(info.ID)
+	if got := waitDone(t, s); got.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+
+	// Second cancel conflicts.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: %d, want 409", resp.StatusCode)
+	}
+
+	// Drain flips health and refuses submissions with 503.
+	sv.Drain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,280 @@
+// Package serve is the msimd session service: it accepts .wl scenario
+// submissions over HTTP, multiplexes them across a supervised worker
+// pool, and makes the failure containment built in PR 6 operational —
+// every session runs under guard.Supervisor with mandatory wall/cycle
+// budgets, is checkpointed to a spool at deterministic run-slice
+// boundaries, and, when it crashes or stalls transiently, is retried
+// from its latest checkpoint with capped exponential backoff, resuming
+// bit-identically to a run that was never interrupted (DESIGN.md "The
+// simulation service").
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// State is a session's lifecycle state. Transitions:
+//
+//	queued ──▶ running ──▶ done
+//	   ▲          │ ├────▶ failed
+//	   │          │ ├────▶ canceled
+//	(boot adopt)  │ └────▶ suspended ─(restart)─▶ queued
+//	   │          ▼
+//	   └──── retrying (transient failure; back to running after backoff)
+//
+// done, failed, and canceled are terminal. suspended means the server
+// drained with the session in flight: its checkpoint stays in the spool
+// and the next boot re-adopts it as queued.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateRetrying  State = "retrying"
+	StateSuspended State = "suspended"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final for this server process.
+// (suspended is final here but resumes after a restart.)
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Failure classes, reported on failed (and retrying) sessions. The first
+// three are transient — the supervisor contained a fault that a retry
+// from the latest checkpoint can get past — and are retried up to the
+// server's retry cap. The rest are deterministic properties of the
+// scenario itself; retrying would reproduce them exactly.
+const (
+	FailCrash        = "crash"         // contained panic (*guard.CrashError); transient
+	FailStallTimeout = "stall-timeout" // wall-clock watchdog stop; transient
+	FailStallHang    = "stall-hang"    // watchdog stop ignored past grace; transient
+	FailBudget       = "budget"        // session cycle budget exhausted; permanent
+	FailScenario     = "scenario"      // expect/check/staging error; permanent
+)
+
+// transientFailure reports whether a failure class is worth retrying.
+func transientFailure(class string) bool {
+	return class == FailCrash || class == FailStallTimeout || class == FailStallHang
+}
+
+// classifyFailure maps a supervised attempt error to a failure class.
+func classifyFailure(err error) string {
+	var ce *guard.CrashError
+	if errors.As(err, &ce) {
+		return FailCrash
+	}
+	var se *guard.StallError
+	if errors.As(err, &se) {
+		switch se.Kind {
+		case guard.StallTimeout:
+			return FailStallTimeout
+		case guard.StallHang:
+			return FailStallHang
+		case guard.StallBudget:
+			return FailBudget
+		}
+	}
+	return FailScenario
+}
+
+// Session is one submitted scenario and its execution state. All mutable
+// fields are guarded by mu; the identity fields before it are fixed at
+// admission.
+type Session struct {
+	ID     string
+	Name   string // scenario name (diagnostics, list views)
+	seq    uint64 // admission sequence number (chaos keying)
+	source string // the .wl text, verbatim (respooled in checkpoints)
+	sc     *core.Scenario
+
+	// Admission-enforced budgets: every session has both.
+	wall        time.Duration // per-attempt wall-clock deadline
+	cycleBudget int64         // total simulated-cycle budget
+
+	mu       sync.Mutex
+	state    State
+	retries  int       // transient failures recovered so far
+	canceled bool      // cancellation requested (observed at quantum heads)
+	sim      *core.Sim // live machine while running (interrupt target)
+
+	phases             []core.PhaseResult // completed phases, live-updated
+	checks             int
+	result             *core.ScenarioResult // set when done
+	digest             string               // sha256 of the final machine snapshot
+	failure, failClass string
+	dumpPath           string // last crash dump, if any
+
+	notify chan struct{} // closed and swapped on every visible change
+	done   chan struct{} // closed on reaching a Terminal state
+}
+
+func newSession(id string, seq uint64, name, source string, sc *core.Scenario,
+	wall time.Duration, cycleBudget int64) *Session {
+	return &Session{
+		ID: id, Name: name, seq: seq, source: source, sc: sc,
+		wall: wall, cycleBudget: cycleBudget,
+		state:  StateQueued,
+		notify: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// update applies fn under the lock and wakes every watcher.
+func (s *Session) update(fn func()) {
+	s.mu.Lock()
+	fn()
+	close(s.notify)
+	s.notify = make(chan struct{})
+	if s.state.Terminal() {
+		select {
+		case <-s.done:
+		default:
+			close(s.done)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Cancel requests cancellation. Queued and retrying sessions observe it
+// before their next quantum; a running session's machine is stopped at
+// its next run-loop head. Terminal sessions are unaffected. It reports
+// whether the request was accepted (false once terminal).
+func (s *Session) Cancel() bool {
+	var accepted bool
+	s.update(func() {
+		if s.state.Terminal() {
+			return
+		}
+		accepted = true
+		s.canceled = true
+		if s.sim != nil {
+			s.sim.M.RequestStop()
+		}
+	})
+	return accepted
+}
+
+// interrupt stops the session's machine at its next run-loop head (drain).
+func (s *Session) interrupt() {
+	s.mu.Lock()
+	if s.sim != nil {
+		s.sim.M.RequestStop()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) isCanceled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.canceled
+}
+
+// Done returns a channel closed when the session reaches a terminal
+// state (done, failed, or canceled — not suspended).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// attach/detach bracket an attempt: while attached, Cancel and drain can
+// stop the machine mid-quantum.
+func (s *Session) attach(sim *core.Sim) {
+	s.update(func() {
+		s.state = StateRunning
+		s.sim = sim
+		if s.canceled {
+			sim.M.RequestStop()
+		}
+	})
+}
+
+func (s *Session) detach() {
+	s.mu.Lock()
+	s.sim = nil
+	s.mu.Unlock()
+}
+
+// noteProgress publishes the run's completed phases and checks.
+func (s *Session) noteProgress(run *core.ScenarioRun) {
+	s.update(func() {
+		s.phases = append(s.phases[:0], run.Phases()...)
+		s.checks = run.Checks()
+	})
+}
+
+// Info is the JSON view of a session.
+type Info struct {
+	ID      string  `json:"id"`
+	Name    string  `json:"name"`
+	State   State   `json:"state"`
+	Retries int     `json:"retries"`
+	Phases  []Phase `json:"phases,omitempty"`
+	Checks  int     `json:"checks"`
+
+	// Set on done:
+	TotalCycles int64  `json:"total_cycles,omitempty"`
+	Digest      string `json:"digest,omitempty"` // sha256 of the final machine snapshot
+
+	// Set on failed (class also set while retrying):
+	Failure      string `json:"failure,omitempty"`
+	FailureClass string `json:"failure_class,omitempty"`
+	DumpPath     string `json:"dump_path,omitempty"`
+}
+
+// Phase is the JSON view of one completed run phase.
+type Phase struct {
+	Name   string `json:"name"`
+	Cycles int64  `json:"cycles"`
+}
+
+// Info snapshots the session for API responses.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked()
+}
+
+func (s *Session) infoLocked() Info {
+	in := Info{
+		ID: s.ID, Name: s.Name, State: s.state, Retries: s.retries,
+		Checks: s.checks, Digest: s.digest,
+		Failure: s.failure, FailureClass: s.failClass, DumpPath: s.dumpPath,
+	}
+	for _, p := range s.phases {
+		in.Phases = append(in.Phases, Phase{Name: p.Name, Cycles: p.Cycles})
+	}
+	if s.result != nil {
+		in.TotalCycles = s.result.TotalCycles
+	}
+	return in
+}
+
+// watch returns a consistent snapshot and a channel that is closed on
+// the next visible change — the streaming endpoint's poll primitive.
+func (s *Session) watch() (Info, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(), s.notify
+}
+
+// stateDigest hex-encodes the sha256 of a final machine snapshot; the
+// digest is the service's bit-identity witness (two sessions simulated
+// the same thing iff their digests match).
+func stateDigest(snapshot []byte) string {
+	sum := sha256.Sum256(snapshot)
+	return hex.EncodeToString(sum[:])
+}
+
+// sessionError decorates a terminal failure for logs.
+func sessionError(s *Session, class string, err error) string {
+	return fmt.Sprintf("session %s (%s): %s: %v", s.ID, s.Name, class, err)
+}

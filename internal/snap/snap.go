@@ -23,10 +23,14 @@ import (
 
 // WriteFileAtomic writes a snapshot-style stream to path with
 // crash-dump discipline: the stream is produced into a sibling temporary
-// file and renamed into place only if every write (and Close) succeeded,
-// so a reader never observes a half-written snapshot at path — exactly
-// the property `msim -restore` and forensic tooling rely on. Any failure
-// removes the temporary file and reports the first error.
+// file, synced to stable storage, and renamed into place only if every
+// write (and Close) succeeded, so a reader never observes a half-written
+// snapshot at path — exactly the property `msim -restore` and forensic
+// tooling rely on. The containing directory is fsynced after the rename,
+// so once WriteFileAtomic returns the snapshot survives power loss, not
+// just process death — the durability msimd's checkpoint spool needs
+// before acknowledging a session as suspended. Any failure removes the
+// temporary file and reports the first error.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")
@@ -39,6 +43,11 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -47,7 +56,21 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. An
+// empty dir means the path was relative to the working directory.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Writer serializes primitives to an io.Writer. The first write error

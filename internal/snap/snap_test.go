@@ -2,6 +2,10 @@ package snap
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,5 +96,81 @@ func TestBoundsAndStickiness(t *testing.T) {
 	r2.Bool()
 	if r2.Err() == nil || !strings.Contains(r2.Err().Error(), "boolean") {
 		t.Errorf("bad boolean byte: err %v", r2.Err())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+
+	// A failing producer must leave nothing behind — not the target, not
+	// the temporary.
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("failing write: err = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write left %s behind (stat err %v)", path, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed write left %d stray files (first: %s)", len(ents), ents[0].Name())
+	}
+
+	// A successful write replaces any prior content in one step and the
+	// temporary is gone.
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("read back %q", got)
+	}
+	ents, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("successful write left %d files in dir, want 1", len(ents))
+	}
+
+	// Relative path: the directory component is empty, syncDir falls back
+	// to ".".
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	err = WriteFileAtomic("rel.ckpt", func(w io.Writer) error {
+		_, err := w.Write([]byte("rel"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile("rel.ckpt"); err != nil || string(got) != "rel" {
+		t.Fatalf("relative write: %q, %v", got, err)
 	}
 }
