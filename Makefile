@@ -7,7 +7,10 @@
 # (the supervision layer's containment contracts, see DESIGN.md
 # "Supervised runs & fault injection"), the msimd service chaos soak
 # (mbench -serve: checkpoint-based recovery must be bit-identical, see
-# docs/msimd.md), a one-shot benchmark smoke pass
+# docs/msimd.md), the distributed-engine soak (mbench -dist: the
+# multi-process determinism matrix and the chaos shard-kill drills, plus
+# a race pass over the coordinator; see docs/mdist.md), a one-shot
+# benchmark smoke pass
 # (every benchmark runs once, so a panicking or regressed-to-failure
 # benchmark breaks CI without paying for measurement), and a benchdiff
 # over the two most recent BENCH_<n>.json records (any metric delta or
@@ -16,9 +19,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup checkpoint examples wl faults serve fuzz-smoke bench-smoke bench benchdiff
+.PHONY: ci build vet test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke bench benchdiff
 
-ci: build vet test race speedup checkpoint examples wl faults serve fuzz-smoke bench-smoke benchdiff
+ci: build vet test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -80,6 +83,16 @@ faults:
 # drain/re-adopt suspended sessions across a restart. See docs/msimd.md.
 serve:
 	$(GO) run ./cmd/mbench -serve
+
+# Distributed-engine soak (cmd/mbench/dist.go): the multi-process
+# determinism matrix (every scenario bit-identical across shard counts,
+# local-pipe and real OS-process workers) plus the chaos drills (panic,
+# wedge, SIGKILL mid-run; classified, recovered from checkpoints, still
+# bit-identical — see docs/mdist.md), then a race pass over the
+# coordinator, supervision, and recovery paths.
+dist:
+	$(GO) run ./cmd/mbench -dist
+	$(GO) test -race -count=1 ./internal/dist
 
 # Native fuzzing smoke over the snapshot decoder: corrupt stream =>
 # descriptive error, never a panic, never a half-mutated machine.

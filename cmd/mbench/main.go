@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/core"
+	"repro/internal/dist"
 )
 
 // Metric is one machine-readable quantity of an experiment's result.
@@ -273,11 +274,16 @@ func scenarioExperiments(glob string) ([]experiment, error) {
 }
 
 func main() {
+	// The -dist soak re-executes this binary as shard worker processes;
+	// when launched that way, serve the shard and exit.
+	dist.MaybeWorker()
+
 	exp := flag.String("exp", "", "run a single experiment by name")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (metrics + wall time per experiment)")
 	wlGlob := flag.String("wl", "testdata/workloads/*.wl", "glob of workload scenarios to run as experiments (\"\" disables)")
 	faults := flag.Bool("faults", false, "run the deterministic fault-injection soak instead of the experiments")
 	serveSoak := flag.Bool("serve", false, "run the msimd service chaos-recovery soak instead of the experiments")
+	distSoak := flag.Bool("dist", false, "run the distributed-engine determinism and recovery soak instead of the experiments")
 	flag.Parse()
 
 	if *faults {
@@ -290,6 +296,13 @@ func main() {
 	if *serveSoak {
 		if err := runServeSoak(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mbench: serve soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distSoak {
+		if err := runDistSoak(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: dist soak: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -336,6 +336,21 @@ func (c *Chip) OutboxLen() int { return len(c.outbox) }
 // a common shape of apparent livelock (the destination keeps refusing).
 func (c *Chip) PendingResends() int { return len(c.resends) }
 
+// TakeOutbox appends this chip's buffered messages to dst in the order
+// they were produced and clears the outbox — the distributed engine's
+// variant of FlushNet: instead of injecting into the local network, the
+// messages are shipped to the coordinator, whose authoritative network
+// injects them in the same node-index drain order (and so assigns the
+// same global sequence numbers) as an in-process run.
+func (c *Chip) TakeOutbox(dst []*noc.Message) []*noc.Message {
+	dst = append(dst, c.outbox...)
+	for i := range c.outbox {
+		c.outbox[i] = nil
+	}
+	c.outbox = c.outbox[:0]
+	return dst
+}
+
 // FlushNet injects this chip's buffered messages into the shared network,
 // in the order they were produced. now must be the cycle the messages were
 // buffered on — injection timing (readyAt, sequence numbers) is then

@@ -238,13 +238,15 @@ func DecodeChipState(r *snap.Reader, cfg Config, node noc.Coord, index int, net 
 			// memResponse routes completions through this metadata without
 			// further checks, so reject anything it could not route: a
 			// retry descriptor must unpack to a real Int/FP register slot
-			// (UnpackRegDesc masks wider than the machine's limits), and a
-			// direct destination must be a register-file class or empty
-			// (stores carry no destination).
+			// or no register at all (a store retry carries the RNone
+			// descriptor its faulting store packed — completion never
+			// dereferences it; UnpackRegDesc masks wider than the
+			// machine's limits), and a direct destination must likewise be
+			// a register-file class or empty.
 			if q.meta.isRetry {
 				vt, cl, reg := isa.UnpackRegDesc(q.meta.regDesc)
 				if vt >= isa.NumVThreads || cl >= isa.NumClusters ||
-					(reg.Class != isa.RInt && reg.Class != isa.RFP) ||
+					(reg.Class != isa.RNone && reg.Class != isa.RInt && reg.Class != isa.RFP) ||
 					int(reg.Index) >= isa.NumIntRegs {
 					r.Fail(fmt.Errorf("chip: snapshot retry descriptor %#x names no register", q.meta.regDesc))
 				}

@@ -1,0 +1,133 @@
+package machine_test
+
+// Shard-frame round trip: the distributed engine ships per-range chip
+// state between processes as partial-machine frames (EncodeShard /
+// AdoptShard). Adopting the frames of a further-advanced machine into a
+// stale peer must reproduce the donor's chip state bit for bit (proved by
+// re-encoding), and corrupt or mismatched frames must fail descriptively
+// without touching the target.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestShardFrameRoundTrip(t *testing.T) {
+	donor := buildSnapWorkload(t, snapMode{name: "event"})
+	defer donor.Close()
+	stepN(donor, 400)
+	var s0 bytes.Buffer
+	if err := donor.Save(&s0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A peer seeded from the same snapshot lineage, now stale: the donor
+	// advances 300 more cycles on its own.
+	peer := buildSnapWorkload(t, snapMode{name: "event"})
+	defer peer.Close()
+	if err := peer.Restore(bytes.NewReader(s0.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	stepN(donor, 300)
+
+	// Ship the donor's chips to the peer in two frames.
+	ranges := [][2]int{{0, 2}, {2, 4}}
+	for _, rg := range ranges {
+		var frame bytes.Buffer
+		if err := donor.EncodeShard(&frame, rg[0], rg[1]); err != nil {
+			t.Fatal(err)
+		}
+		cycle, err := peer.AdoptShard(bytes.NewReader(frame.Bytes()), rg[0], rg[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycle != donor.Cycle {
+			t.Fatalf("frame cycle %d, donor at %d", cycle, donor.Cycle)
+		}
+	}
+	peer.Cycle = donor.Cycle
+
+	// Re-encoding the adopted ranges must reproduce the donor's frames
+	// byte for byte — the bit-identity the distributed checkpoint and
+	// final-digest assembly depend on.
+	for _, rg := range ranges {
+		var want, got bytes.Buffer
+		if err := donor.EncodeShard(&want, rg[0], rg[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.EncodeShard(&got, rg[0], rg[1]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("shard [%d,%d): adopted frame re-encodes differently", rg[0], rg[1])
+		}
+	}
+}
+
+func TestShardFrameErrors(t *testing.T) {
+	m := buildSnapWorkload(t, snapMode{name: "event"})
+	defer m.Close()
+	stepN(m, 100)
+	var frame bytes.Buffer
+	if err := m.EncodeShard(&frame, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := m.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		lo   int
+		hi   int
+		want string
+	}{
+		{"range mismatch", frame.Bytes(), 0, 2, "covers"},
+		{"bad magic", append([]byte("NOTAFRAM"), frame.Bytes()[8:]...), 1, 3, "magic"},
+		{"truncated", frame.Bytes()[:frame.Len()/2], 1, 3, "truncated"},
+		{"missing trailer", frame.Bytes()[:frame.Len()-8], 1, 3, ""},
+	}
+	for _, tc := range cases {
+		_, err := m.AdoptShard(bytes.NewReader(tc.data), tc.lo, tc.hi)
+		if err == nil {
+			t.Fatalf("%s: adopt succeeded", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	var after bytes.Buffer
+	if err := m.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("failed AdoptShard mutated the machine")
+	}
+}
+
+func TestReadSnapshotConfig(t *testing.T) {
+	m := buildSnapWorkload(t, snapMode{name: "event"})
+	defer m.Close()
+	var snap bytes.Buffer
+	if err := m.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := machine.ReadSnapshotConfig(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dims != m.Cfg.Dims || cfg.Chip != m.Cfg.Chip {
+		t.Fatal("ReadSnapshotConfig does not match the saved machine")
+	}
+	// A machine built from that config restores the snapshot.
+	fresh := machine.New(cfg)
+	defer fresh.Close()
+	if err := fresh.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}

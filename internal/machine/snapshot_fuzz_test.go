@@ -97,6 +97,17 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(base[:16])          // magic + version only
 	f.Add([]byte("MSIMSNAP")) // ASCII lookalike, not the little-endian magic
 	f.Add([]byte{})
+	// Oversized-length probes: a valid prefix cut at assorted depths,
+	// followed by a maximal 64-bit word where the next length field would
+	// be. Each lands the decoder on some count/length read claiming far
+	// more data than the stream holds, pinning snap's capped-allocation
+	// path (a descriptive error, never a giant make()).
+	huge := bytes.Repeat([]byte{0xff}, 8)
+	for _, cut := range []int{24, 264, len(base) / 4, len(base) / 2, len(base) - 9} {
+		if cut > 0 && cut < len(base) {
+			f.Add(append(append([]byte{}, base[:cut]...), huge...))
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if fuzzTarget == nil {

@@ -349,6 +349,66 @@ func (n *Network) PendingAt(c Coord, pri int) int {
 	return n.arrivals[n.Index(c)][pri].len()
 }
 
+// ArrivalsAt returns a view of node i's delivered-but-unconsumed messages
+// at priority pri, oldest first. The slice aliases the live queue: it is
+// valid only until the next Pop/Deliver/Step and must not be mutated or
+// retained. The distributed coordinator uses it to ship copies of
+// deliveries to shard workers without consuming the authoritative queue.
+func (n *Network) ArrivalsAt(i, pri int) []*Message {
+	q := &n.arrivals[i][pri]
+	return q.buf[q.head:]
+}
+
+// DropArrivals consumes the k oldest delivered messages at (i, pri),
+// discarding them. The distributed coordinator calls it when a shard
+// worker confirms its chip consumed k messages, keeping the authoritative
+// arrival queues exactly equal to the shard-local ones at every sync
+// point — which is what makes hub-side Quiescent/NextEvent and checkpoint
+// snapshots bit-identical to an in-process run.
+func (n *Network) DropArrivals(i, pri, k int) {
+	q := &n.arrivals[i][pri]
+	if k > q.len() {
+		panic(fmt.Sprintf("noc: drop %d arrivals at node %d pri %d, only %d pending", k, i, pri, q.len()))
+	}
+	for j := 0; j < k; j++ {
+		q.pop()
+	}
+	n.arrivalCount.Add(int64(-k))
+}
+
+// Deliver places m directly into node i's arrival queue at priority pri,
+// bypassing routing. This is the distributed engine's shard-side mailbox
+// primitive: the coordinator's authoritative network routed and delivered
+// the message, and the shard replays the delivery into its local replica
+// so the destination chip consumes it exactly as it would in-process.
+// Queue order is the shipment order, which the coordinator produces in
+// per-(node, priority) FIFO order — the only order chips can observe.
+func (n *Network) Deliver(i int, pri int, m *Message) {
+	n.arrivals[i][pri].push(m)
+	n.arrivalCount.Add(1)
+}
+
+// ClearTraffic drops all in-flight and delivered-but-unconsumed messages.
+// A distributed shard calls it after restoring a full snapshot: the
+// authoritative copy of that traffic lives in the coordinator's network,
+// and the local replica acts only as a mailbox fed by Deliver — leaving
+// the snapshot's copies in place would double-deliver on resume. Sequence
+// numbers and statistics are untouched (the coordinator owns those too;
+// a shard replica's are never consulted or exported).
+func (n *Network) ClearTraffic() {
+	for pri := range n.flight {
+		n.flight[pri] = n.flight[pri][:0]
+	}
+	for i := range n.arrivals {
+		for pri := range n.arrivals[i] {
+			n.arrivals[i][pri] = msgQueue{}
+		}
+	}
+	n.arrivalCount.Store(0)
+	n.deliveredTo = nil
+	n.nextWake = NoEvent
+}
+
 // DeliveredNodes returns the nodes that received at least one delivery
 // during the most recent Step, without duplicates, in delivery order. The
 // slice is valid until the next Step; callers must not retain it.

@@ -144,6 +144,11 @@ type Stats struct {
 	Retries   uint64 `json:"retries"` // transient failures recovered
 	Shed      uint64 `json:"shed"`    // admissions refused with queue full
 
+	// Recovery observability.
+	Recovered   uint64 `json:"recovered"`   // sessions done after >= 1 retry
+	Restores    uint64 `json:"restores"`    // attempts resumed from a machine checkpoint
+	Quarantined uint64 `json:"quarantined"` // unreadable spool checkpoints renamed aside at boot
+
 	Queued   int  `json:"queued"` // gauge: sessions waiting for a worker
 	Running  int  `json:"running"`
 	Draining bool `json:"draining"`
@@ -214,8 +219,12 @@ func (sv *Server) adopt() ([]*Session, error) {
 			sc, err = core.ScenarioFromDSL(ck.Name, ck.Source)
 		}
 		if err != nil {
-			sv.cfg.logf("spool: skipping %s: %v", path, err)
+			// Quarantine, never delete: a torn or corrupt checkpoint is
+			// forensic evidence of the crash that produced it. (adopt runs
+			// single-threaded inside New, before the pool starts.)
+			sv.cfg.logf("spool: quarantining %s: %v", path, err)
 			os.Rename(path, path+".bad")
+			sv.stats.Quarantined++
 			continue
 		}
 		s := newSession(id, 0, ck.Name, ck.Source, sc,
@@ -415,7 +424,12 @@ func (sv *Server) runSession(s *Session) {
 	for {
 		switch sv.runAttempt(s) {
 		case attemptDone:
-			sv.count(func(st *Stats) { st.Done++ })
+			sv.count(func(st *Stats) {
+				st.Done++
+				if s.retries > 0 {
+					st.Recovered++
+				}
+			})
 			return
 		case attemptFailed:
 			sv.count(func(st *Stats) { st.Failed++ })
@@ -436,6 +450,7 @@ func (sv *Server) runSession(s *Session) {
 			s.update(func() {
 				s.retries++
 				s.state = StateRetrying
+				s.backoff = backoff
 			})
 			sv.cfg.logf("session %s: retry %d/%d in %v (%s)",
 				s.ID, s.retries, sv.cfg.Retries, backoff, s.failClass)
@@ -486,6 +501,7 @@ func (sv *Server) fail(s *Session, class string, err error) attemptOutcome {
 // advance the scenario quantum by quantum under a supervisor, spooling a
 // checkpoint at every run-slice boundary.
 func (sv *Server) runAttempt(s *Session) attemptOutcome {
+	s.update(func() { s.attempts++ })
 	// Resume state comes from the spool: either an admission checkpoint
 	// (fresh start) or a boundary checkpoint with a machine snapshot.
 	ck, err := readCheckpoint(ckptPath(sv.cfg.Spool, s.ID))
@@ -515,6 +531,9 @@ func (sv *Server) runAttempt(s *Session) attemptOutcome {
 			if err := run.Seek(ck.NextStep, ck.PhaseRan, ck.Phases, ck.Checks); err == nil {
 				resumed = true
 			}
+		}
+		if resumed {
+			sv.count(func(st *Stats) { st.Restores++ })
 		}
 		if !resumed {
 			// Corrupt or incompatible snapshot: fall back to a fresh start.

@@ -662,3 +662,124 @@ func TestHTTPCancelAndDrainStatus(t *testing.T) {
 		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestSpoolQuarantine is the corrupt-spool regression test: a boot over
+// a spool holding truncated, garbage, and wrongly-identified .ckpt files
+// must quarantine each (rename to .bad, never delete — forensic
+// evidence), count them, and still adopt and finish the healthy session.
+func TestSpoolQuarantine(t *testing.T) {
+	cfg := testConfig(t)
+	src := spinScenario(100)
+
+	good := &checkpoint{ID: "s000001", Name: "spin.wl", Source: src,
+		WallNanos: int64(30 * time.Second), CycleBudget: 1 << 20}
+	if err := writeCheckpoint(ckptPath(cfg.Spool, good.ID), good); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: a valid checkpoint cut short mid-payload.
+	var buf bytes.Buffer
+	if err := writeCheckpoint(ckptPath(cfg.Spool, "s000002"), good); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(ckptPath(cfg.Spool, "s000002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(whole[:20])
+	if err := os.WriteFile(ckptPath(cfg.Spool, "s000002"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage that is not a checkpoint at all.
+	if err := os.WriteFile(ckptPath(cfg.Spool, "s000003"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint whose internal identity disagrees with its file name.
+	bad := *good
+	bad.ID = "s000099"
+	if err := writeCheckpoint(ckptPath(cfg.Spool, "s000004"), &bad); err != nil {
+		t.Fatal(err)
+	}
+
+	sv := mustServer(t, cfg)
+	st := sv.Stats()
+	if st.Adopted != 1 || st.Quarantined != 3 {
+		t.Fatalf("adopted %d quarantined %d, want 1 and 3", st.Adopted, st.Quarantined)
+	}
+	for _, id := range []string{"s000002", "s000003", "s000004"} {
+		if _, err := os.Stat(ckptPath(cfg.Spool, id)); !os.IsNotExist(err) {
+			t.Errorf("%s.ckpt still in the spool after quarantine", id)
+		}
+		if _, err := os.Stat(ckptPath(cfg.Spool, id) + ".bad"); err != nil {
+			t.Errorf("%s.ckpt.bad missing: %v", id, err)
+		}
+	}
+	s, ok := sv.Get("s000001")
+	if !ok {
+		t.Fatal("healthy session not adopted")
+	}
+	info := waitDone(t, s)
+	if info.State != StateDone {
+		t.Fatalf("adopted session: %s (%s: %s)", info.State, info.FailureClass, info.Failure)
+	}
+}
+
+// TestRetryObservability checks the recovery bookkeeping a crashed-then-
+// recovered session exposes: attempt count, live backoff while retrying,
+// the sticky last failure class, and the server's aggregate recovery
+// counters.
+func TestRetryObservability(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.Backoff = 300 * time.Millisecond
+	cfg.BackoffCap = 2 * time.Second
+	cfg.Chaos = &Chaos{Seed: 42, PanicEvery: 1, MaxCycle: 500}
+	sv := mustServer(t, cfg)
+
+	s, err := sv.Submit("spin.wl", spinScenario(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catch the session inside its first backoff window: state retrying
+	// with a human-readable backoff duration.
+	sawBackoff := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info := s.Info()
+		if info.State == StateRetrying && info.Backoff != "" {
+			sawBackoff = true
+			break
+		}
+		if info.State.Terminal() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawBackoff {
+		t.Error("never observed state=retrying with a backoff value")
+	}
+
+	info := waitDone(t, s)
+	if info.State != StateDone {
+		t.Fatalf("state %s (%s: %s)", info.State, info.FailureClass, info.Failure)
+	}
+	if info.Retries < 1 || info.Attempts < 2 {
+		t.Errorf("retries %d attempts %d, want >= 1 and >= 2", info.Retries, info.Attempts)
+	}
+	if info.Attempts != info.Retries+1 {
+		t.Errorf("attempts %d != retries %d + 1", info.Attempts, info.Retries)
+	}
+	if info.Backoff != "" {
+		t.Errorf("backoff %q still set on a done session", info.Backoff)
+	}
+	if info.FailureClass != FailCrash {
+		t.Errorf("last failure class %q, want %q (sticky after recovery)", info.FailureClass, FailCrash)
+	}
+
+	st := sv.Stats()
+	if st.Retries < 1 || st.Recovered < 1 {
+		t.Errorf("stats retries %d recovered %d, want >= 1 each", st.Retries, st.Recovered)
+	}
+	if st.Restores < 1 {
+		t.Errorf("stats restores %d, want >= 1 (retry resumed from a boundary checkpoint)", st.Restores)
+	}
+}

@@ -105,9 +105,11 @@ type Session struct {
 
 	mu       sync.Mutex
 	state    State
-	retries  int       // transient failures recovered so far
-	canceled bool      // cancellation requested (observed at quantum heads)
-	sim      *core.Sim // live machine while running (interrupt target)
+	retries  int           // transient failures recovered so far
+	attempts int           // supervised attempts started (including the first)
+	backoff  time.Duration // current retry backoff; nonzero only while retrying
+	canceled bool          // cancellation requested (observed at quantum heads)
+	sim      *core.Sim     // live machine while running (interrupt target)
 
 	phases             []core.PhaseResult // completed phases, live-updated
 	checks             int
@@ -190,6 +192,7 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 func (s *Session) attach(sim *core.Sim) {
 	s.update(func() {
 		s.state = StateRunning
+		s.backoff = 0
 		s.sim = sim
 		if s.canceled {
 			sim.M.RequestStop()
@@ -213,12 +216,14 @@ func (s *Session) noteProgress(run *core.ScenarioRun) {
 
 // Info is the JSON view of a session.
 type Info struct {
-	ID      string  `json:"id"`
-	Name    string  `json:"name"`
-	State   State   `json:"state"`
-	Retries int     `json:"retries"`
-	Phases  []Phase `json:"phases,omitempty"`
-	Checks  int     `json:"checks"`
+	ID       string  `json:"id"`
+	Name     string  `json:"name"`
+	State    State   `json:"state"`
+	Retries  int     `json:"retries"`
+	Attempts int     `json:"attempts"`          // supervised attempts started
+	Backoff  string  `json:"backoff,omitempty"` // current retry backoff, while retrying
+	Phases   []Phase `json:"phases,omitempty"`
+	Checks   int     `json:"checks"`
 
 	// Set on done:
 	TotalCycles int64  `json:"total_cycles,omitempty"`
@@ -246,8 +251,12 @@ func (s *Session) Info() Info {
 func (s *Session) infoLocked() Info {
 	in := Info{
 		ID: s.ID, Name: s.Name, State: s.state, Retries: s.retries,
-		Checks: s.checks, Digest: s.digest,
+		Attempts: s.attempts,
+		Checks:   s.checks, Digest: s.digest,
 		Failure: s.failure, FailureClass: s.failClass, DumpPath: s.dumpPath,
+	}
+	if s.state == StateRetrying && s.backoff > 0 {
+		in.Backoff = s.backoff.String()
 	}
 	for _, p := range s.phases {
 		in.Phases = append(in.Phases, Phase{Name: p.Name, Cycles: p.Cycles})

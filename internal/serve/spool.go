@@ -91,6 +91,7 @@ func readCheckpoint(path string) (*checkpoint, error) {
 		return nil, fmt.Errorf("%s: not an msimd checkpoint", path)
 	}
 	r := snap.NewReader(bytes.NewReader(b[len(ckptMagic):]))
+	r.Limit(int64(len(b) - len(ckptMagic)))
 	if v := r.Int(); v != ckptVersion {
 		return nil, fmt.Errorf("%s: checkpoint version %d, want %d", path, v, ckptVersion)
 	}

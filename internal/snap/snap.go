@@ -180,12 +180,21 @@ func (w *Writer) Bools(bs []bool) {
 	w.RawU64s(words)
 }
 
+// maxPrealloc caps how many bytes any decode may allocate ahead of the
+// data actually arriving from the stream (1 MiB). Larger sections grow in
+// chunks as reads succeed, so a corrupt length field costs at most one
+// chunk before the truncation is detected — it can never drive a
+// multi-gigabyte allocation attempt. Streams whose total size is known
+// (Limit) reject oversized lengths before allocating anything.
+const maxPrealloc = 1 << 20
+
 // Reader deserializes primitives from an io.Reader. The first error
 // (including EOF, reported as an unexpected-EOF decode error) sticks, and
 // every subsequent read returns zero values.
 type Reader struct {
 	r       io.Reader
 	err     error
+	remain  int64 // bytes left in the stream when known, -1 otherwise
 	buf     [8]byte
 	scratch []byte   // reused bulk-transfer buffer (RawU64s)
 	stage   []uint64 // reused staging buffer (Stage)
@@ -203,7 +212,27 @@ func (r *Reader) Stage(n int) []uint64 {
 }
 
 // NewReader wraps r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+func NewReader(r io.Reader) *Reader { return &Reader{r: r, remain: -1} }
+
+// Limit declares that at most n more bytes remain in the underlying
+// stream. Callers decoding from an in-memory buffer or a file of known
+// size should set it: any length field that claims more data than the
+// stream can possibly hold then fails descriptively before a single byte
+// of it is allocated or read.
+func (r *Reader) Limit(n int64) { r.remain = n }
+
+// claim validates that n more bytes of payload are plausible before any
+// allocation is sized from a decoded length field.
+func (r *Reader) claim(n int64) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.remain >= 0 && n > r.remain {
+		r.Fail(fmt.Errorf("snap: length %d exceeds the %d bytes remaining in the stream", n, r.remain))
+		return false
+	}
+	return true
+}
 
 // Memo returns per-stream scratch space for decoders that share work
 // across one stream — e.g. deduplicating identical embedded programs, so
@@ -231,12 +260,19 @@ func (r *Reader) read(p []byte) bool {
 	if r.err != nil {
 		return false
 	}
+	if r.remain >= 0 && int64(len(p)) > r.remain {
+		r.err = fmt.Errorf("snap: truncated input (need %d bytes, %d remain)", len(p), r.remain)
+		return false
+	}
 	if _, err := io.ReadFull(r.r, p); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("snap: truncated input")
 		}
 		r.err = err
 		return false
+	}
+	if r.remain >= 0 {
+		r.remain -= int64(len(p))
 	}
 	return true
 }
@@ -285,15 +321,25 @@ func (r *Reader) Len(max int) int {
 	return int(n)
 }
 
-// Bytes reads a length-prefixed byte slice bounded by max.
+// Bytes reads a length-prefixed byte slice bounded by max. The
+// allocation grows in maxPrealloc chunks as the stream delivers, so a
+// corrupt length inside the bound fails at the truncation point instead
+// of attempting one huge up-front allocation.
 func (r *Reader) Bytes(max int) []byte {
 	n := r.Len(max)
-	if r.err != nil || n == 0 {
+	if r.err != nil || n == 0 || !r.claim(int64(n)) {
 		return nil
 	}
-	p := make([]byte, n)
+	p := make([]byte, min(n, maxPrealloc))
 	if !r.read(p) {
 		return nil
+	}
+	for len(p) < n {
+		off := len(p)
+		p = append(p, make([]byte, min(n-off, maxPrealloc))...)
+		if !r.read(p[off:]) {
+			return nil
+		}
 	}
 	return p
 }
@@ -301,50 +347,72 @@ func (r *Reader) Bytes(max int) []byte {
 // String reads a length-prefixed string bounded by max bytes.
 func (r *Reader) String(max int) string { return string(r.Bytes(max)) }
 
-// U64s reads a length-prefixed word slice bounded by max entries.
+// U64s reads a length-prefixed word slice bounded by max entries,
+// growing the allocation chunk-wise like Bytes.
 func (r *Reader) U64s(max int) []uint64 {
+	const chunkWords = maxPrealloc / 8
 	n := r.Len(max)
-	if r.err != nil || n == 0 {
+	if r.err != nil || n == 0 || !r.claim(int64(n)*8) {
 		return nil
 	}
-	vs := make([]uint64, n)
+	vs := make([]uint64, min(n, chunkWords))
 	r.RawU64s(vs)
+	for len(vs) < n && r.err == nil {
+		off := len(vs)
+		vs = append(vs, make([]uint64, min(n-off, chunkWords))...)
+		r.RawU64s(vs[off:])
+	}
+	if r.err != nil {
+		return nil
+	}
 	return vs
 }
 
 // Bools reads a boolean slice written by Writer.Bools, bounded by max
-// entries.
+// entries. The backing words stream through the staging buffer one chunk
+// at a time, so the pre-read allocation stays capped.
 func (r *Reader) Bools(max int) []bool {
+	const chunkWords = maxPrealloc / 8
 	n := r.Len(max)
-	if r.err != nil {
+	nw := (n + 63) / 64
+	if r.err != nil || !r.claim(int64(nw)*8) {
 		return nil
 	}
-	words := r.Stage((n + 63) / 64)
-	r.RawU64s(words)
-	if r.err != nil || n == 0 {
-		return nil
-	}
-	bs := make([]bool, n)
-	for i := range bs {
-		bs[i] = words[i/64]&(1<<(i%64)) != 0
+	var bs []bool
+	for w := 0; w < nw; w += chunkWords {
+		words := r.Stage(min(nw-w, chunkWords))
+		r.RawU64s(words)
+		if r.err != nil {
+			return nil
+		}
+		lim := min(n-w*64, len(words)*64)
+		if bs == nil {
+			bs = make([]bool, 0, min(n, maxPrealloc))
+		}
+		for i := 0; i < lim; i++ {
+			bs = append(bs, words[i/64]&(1<<(i%64)) != 0)
+		}
 	}
 	return bs
 }
 
 // RawU64s fills dst with exactly len(dst) words (no length prefix). The
-// staging buffer is reused across calls.
+// staging buffer is reused across calls and never grows past one chunk,
+// however large dst is.
 func (r *Reader) RawU64s(dst []uint64) {
-	if r.err != nil || len(dst) == 0 {
-		return
-	}
-	if cap(r.scratch) < len(dst)*8 {
-		r.scratch = make([]byte, len(dst)*8)
-	}
-	buf := r.scratch[:len(dst)*8]
-	if !r.read(buf) {
-		return
-	}
-	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	const chunkWords = maxPrealloc / 8
+	for len(dst) > 0 && r.err == nil {
+		c := min(len(dst), chunkWords)
+		if cap(r.scratch) < c*8 {
+			r.scratch = make([]byte, c*8)
+		}
+		buf := r.scratch[:c*8]
+		if !r.read(buf) {
+			return
+		}
+		for i := 0; i < c; i++ {
+			dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		dst = dst[c:]
 	}
 }

@@ -99,6 +99,91 @@ func TestBoundsAndStickiness(t *testing.T) {
 	}
 }
 
+// TestOversizedLengthCapped pins the capped-allocation contract: a
+// corrupt length field that passes the caller's structural bound must
+// fail descriptively after at most one chunk of reading — it must never
+// size an allocation from the corrupt count up front.
+func TestOversizedLengthCapped(t *testing.T) {
+	// A stream claiming a ~1 GiB payload that isn't there. With a known
+	// remaining length the claim is rejected before any read.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Len(1 << 30)
+	w.U64(0x1234)
+	stream := buf.Bytes()
+
+	r := NewReader(bytes.NewReader(stream))
+	r.Limit(int64(len(stream)))
+	if got := r.Bytes(1 << 31); got != nil || r.Err() == nil {
+		t.Fatalf("limited reader: oversized Bytes accepted: %v, err %v", len(got), r.Err())
+	}
+	if !strings.Contains(r.Err().Error(), "remaining") {
+		t.Errorf("limited reader error not descriptive: %v", r.Err())
+	}
+
+	// Without a known size, the chunked growth path detects truncation
+	// after at most maxPrealloc bytes.
+	for _, decode := range map[string]func(*Reader){
+		"Bytes": func(r *Reader) { r.Bytes(1 << 31) },
+		"U64s":  func(r *Reader) { r.U64s(1 << 31) },
+		"Bools": func(r *Reader) { r.Bools(1 << 31) },
+	} {
+		r := NewReader(bytes.NewReader(stream))
+		decode(r)
+		if r.Err() == nil || !strings.Contains(r.Err().Error(), "truncated") {
+			t.Errorf("unlimited reader: oversized length: err %v", r.Err())
+		}
+	}
+}
+
+// TestLargeSliceRoundTrip exercises the multi-chunk paths (payloads
+// larger than maxPrealloc) end to end.
+func TestLargeSliceRoundTrip(t *testing.T) {
+	const words = maxPrealloc/8 + 1000 // spills into a second chunk
+	vs := make([]uint64, words)
+	for i := range vs {
+		vs[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	bs := make([]bool, 3*64*1024)
+	for i := range bs {
+		bs[i] = i%3 == 0
+	}
+	p := make([]byte, maxPrealloc+4096)
+	for i := range p {
+		p[i] = byte(i)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64s(vs)
+	w.Bools(bs)
+	w.Bytes(p)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Limit(int64(buf.Len()))
+	gotVs := r.U64s(words)
+	gotBs := r.Bools(len(bs))
+	gotP := r.Bytes(len(p))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if gotVs[i] != vs[i] {
+			t.Fatalf("U64s[%d] = %#x, want %#x", i, gotVs[i], vs[i])
+		}
+	}
+	for i := range bs {
+		if gotBs[i] != bs[i] {
+			t.Fatalf("Bools[%d] = %v, want %v", i, gotBs[i], bs[i])
+		}
+	}
+	if !bytes.Equal(gotP, p) {
+		t.Fatal("Bytes multi-chunk round trip mismatch")
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "state.ckpt")
