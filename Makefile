@@ -19,15 +19,25 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke bench benchdiff
+.PHONY: ci build vet lint test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke bench benchdiff
 
-ci: build vet test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke benchdiff
+ci: build vet lint test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific determinism analyzers (cmd/mlint over internal/lint; see
+# DESIGN.md "Static analysis" and docs/mlint.md): no map iteration or
+# multi-ready select on simulation paths, no wall clock or global rand
+# outside supervision, no goroutines outside the supervised pools, every
+# snapshot-covered struct field encoded or tagged snap:"derived", plus
+# shadow/copylocks/nilness. Any unsuppressed finding fails the gate;
+# every suppression carries a reason (`mlint -suppressions` audits them).
+lint:
+	$(GO) run ./cmd/mlint
 
 test:
 	$(GO) test ./...

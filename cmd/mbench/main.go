@@ -344,9 +344,9 @@ func main() {
 	runOne := func(i int) error {
 		e := selected[i]
 		start := time.Now()
-		out, ms, err := e.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+		out, ms, runErr := e.run()
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", e.name, runErr)
 		}
 		results[i] = Result{
 			Name: e.name, Title: e.title,

@@ -79,9 +79,9 @@ func runServeSoak(w io.Writer) error {
 	var controlSessions []*serve.Session
 	for i := 0; i < serveSoakSessions; i++ {
 		name, src := serveScenario(i)
-		s, err := control.Submit(name, src)
-		if err != nil {
-			return fmt.Errorf("control: submit %s: %v", name, err)
+		s, serr := control.Submit(name, src)
+		if serr != nil {
+			return fmt.Errorf("control: submit %s: %v", name, serr)
 		}
 		controlSessions = append(controlSessions, s)
 	}
@@ -109,9 +109,9 @@ func runServeSoak(w io.Writer) error {
 	var sessions []*serve.Session
 	for i := 0; i < serveSoakSessions; i++ {
 		name, src := serveScenario(i)
-		s, err := chaotic.Submit(name, src)
-		if err != nil {
-			return fmt.Errorf("chaos: submit %s: %v", name, err)
+		s, serr := chaotic.Submit(name, src)
+		if serr != nil {
+			return fmt.Errorf("chaos: submit %s: %v", name, serr)
 		}
 		sessions = append(sessions, s)
 	}
@@ -162,11 +162,11 @@ func runServeSoak(w io.Writer) error {
 	shedded := false
 	for i := 0; i < 32 && !shedded; i++ {
 		name, src := serveScenario(i)
-		_, err := shed.Submit(name, src)
-		if rej, ok := err.(*serve.Rejection); ok && rej.Code == "busy" {
+		_, serr := shed.Submit(name, src)
+		if rej, ok := serr.(*serve.Rejection); ok && rej.Code == "busy" {
 			shedded = true
-		} else if err != nil {
-			return fmt.Errorf("shed: submit: %v", err)
+		} else if serr != nil {
+			return fmt.Errorf("shed: submit: %v", serr)
 		}
 	}
 	shed.Drain()
@@ -192,9 +192,9 @@ func runServeSoak(w io.Writer) error {
 	var ctrl2Sessions []*serve.Session
 	for i := 0; i < longN; i++ {
 		name, src := longSrc(i)
-		s, err := ctrl2.Submit(name, src)
-		if err != nil {
-			return err
+		s, serr := ctrl2.Submit(name, src)
+		if serr != nil {
+			return serr
 		}
 		ctrl2Sessions = append(ctrl2Sessions, s)
 	}

@@ -157,14 +157,14 @@ func main() {
 	}
 	defer s.M.Close()
 	if *restorePath != "" {
-		f, err := os.Open(*restorePath)
-		if err != nil {
-			fatal(err)
+		f, rerr := os.Open(*restorePath)
+		if rerr != nil {
+			fatal(rerr)
 		}
-		err = s.Restore(f)
+		rerr = s.Restore(f)
 		f.Close()
-		if err != nil {
-			fatal(err)
+		if rerr != nil {
+			fatal(rerr)
 		}
 	}
 	if err := s.LoadASM(*node, *vthread, *clusterID, string(src)); err != nil {

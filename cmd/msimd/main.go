@@ -114,7 +114,7 @@ func run() int {
 
 	hs := &http.Server{Handler: sv.Handler()}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
+	go func() { serveErr <- hs.Serve(ln) }() //mlint:allow gocheck HTTP accept loop; simulation work stays on serve's supervised workers
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -118,9 +118,9 @@ type resend struct {
 
 // Chip is one M-Machine node's processor.
 type Chip struct {
-	Cfg   Config
-	Node  noc.Coord
-	Index int // linearized node id
+	Cfg   Config    `snap:"derived,fixed at construction; decode validates against it"`
+	Node  noc.Coord `snap:"derived,fixed at construction; decode validates against it"`
+	Index int       `snap:"derived,fixed at construction"` // linearized node id
 
 	Clusters [isa.NumClusters]*cluster.Cluster
 	Mem      *mem.System
@@ -139,8 +139,8 @@ type Chip struct {
 	// skip the scan entirely.
 	pendingRegs []pendingReg
 	pendingGCC  []pendingGCC
-	pendRegNext int64
-	pendGCCNext int64
+	pendRegNext int64 `snap:"derived,recomputed from decoded pendingRegs"`
+	pendGCCNext int64 `snap:"derived,recomputed from decoded pendingGCC"`
 
 	memReqs []memReq
 	memSeq  uint64
@@ -148,7 +148,7 @@ type Chip struct {
 	// SEND datapath state (Section 4.1, "Throttling").
 	credits    int
 	resends    []resend
-	resendNext int64
+	resendNext int64 `snap:"derived,recomputed from decoded resends"`
 
 	// outbox buffers the messages this chip produced during the current
 	// Step (SENDs, hardware acks, resends). The chip never injects into the
@@ -173,15 +173,15 @@ type Chip struct {
 
 	// Trace, if non-nil, receives simulation events for timeline
 	// reconstruction (Figure 9).
-	Trace func(cycle int64, node int, event, detail string)
+	Trace func(cycle int64, node int, event, detail string) `snap:"derived,engine hook, reinstalled by the owner"`
 
 	// BufferTrace redirects trace events into a per-chip buffer that the
 	// machine flushes in node-index order after the chip phase (FlushTrace).
 	// The parallel engine sets it so concurrently stepping chips still
 	// produce the exact serial trace stream; the callback itself is shared
 	// and must not be invoked from worker goroutines.
-	BufferTrace bool
-	traceBuf    []traceEvent
+	BufferTrace bool         `snap:"derived,engine mode flag, set by the owner"`
+	traceBuf    []traceEvent `snap:"derived,drained every cycle, empty at snapshot points"`
 
 	Cycle int64
 
@@ -194,21 +194,21 @@ type Chip struct {
 	// the wake cycle (WakeAt, Touch, LoadProgram) — the parallel engine's
 	// due-set hook (see DESIGN.md, "Active-set scheduling"). It fires only
 	// from the machine's serial phases, never from inside Step.
-	wake             int64
-	onWake           func(at int64)
-	idleStalled      []*cluster.HThread
-	idleSendsBlocked uint64
+	wake             int64              `snap:"derived,recomputed by the first Step after restore"`
+	onWake           func(at int64)     `snap:"derived,engine hook, reinstalled by the owner"`
+	idleStalled      []*cluster.HThread `snap:"derived,per-cycle idle-scan replay cache, reset at adopt"`
+	idleSendsBlocked uint64             `snap:"derived,per-cycle idle-scan replay cache, reset at adopt"`
 
 	// msgScratch assembles arriving message words before they are copied
 	// into a hardware queue (reused across messages).
-	msgScratch []isa.Word
+	msgScratch []isa.Word `snap:"derived,scratch, fully rewritten per message"`
 
 	// Stats.
 	InstsIssued  uint64
 	OpsIssued    uint64
 	SendsBlocked uint64
 	MsgsReturned uint64
-	cswitchUsed  int // per-cycle C-Switch port budget consumed
+	cswitchUsed  int `snap:"derived,per-cycle budget, reset every cycle"` // per-cycle C-Switch port budget consumed
 }
 
 // New creates a chip at the given mesh coordinate. net and gdt are shared

@@ -17,6 +17,7 @@ package chip
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 
 	"repro/internal/cluster"
@@ -355,13 +356,9 @@ func (c *Chip) Adopt(src *Chip) {
 	c.outbox = append(c.outbox[:0], src.outbox...)
 
 	clear(c.validDIPs)
-	for d := range src.validDIPs {
-		c.validDIPs[d] = true
-	}
+	maps.Copy(c.validDIPs, src.validDIPs)
 	clear(c.directory)
-	for b, sharers := range src.directory {
-		c.directory[b] = sharers
-	}
+	maps.Copy(c.directory, src.directory)
 
 	c.Console.mu.Lock()
 	c.Console.buf = append(c.Console.buf[:0], src.Console.buf...)

@@ -183,7 +183,7 @@ func (g *GCCFile) MarkEmpty(i int) { g.full[i] = false }
 // instruction cache of Figure 3 is modelled as an always-hit store: the
 // Program attached to each H-Thread.
 type Cluster struct {
-	ID      int
+	ID      int `snap:"derived,fixed at construction; decode validates against it"`
 	Threads [isa.NumVThreads]*HThread
 	GCC     *GCCFile
 

@@ -33,9 +33,9 @@ type Figure9Result struct {
 func Figure9() (read, write *Figure9Result, err error) {
 	var res [2]*Figure9Result
 	err = ForEachMachine(2, func(i int) error {
-		r, err := figure9One(i == 1)
+		r, oneErr := figure9One(i == 1)
 		res[i] = r
-		return err
+		return oneErr
 	})
 	if err != nil {
 		return nil, nil, err

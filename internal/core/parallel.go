@@ -38,6 +38,7 @@ func ForEachMachine(n int, f func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//mlint:allow gocheck experiment fan-out: each goroutine owns a whole machine, no simulated state is shared
 		go func() {
 			defer wg.Done()
 			for {

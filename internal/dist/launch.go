@@ -75,6 +75,7 @@ func (h *procHandle) Close() error {
 	// outlives the coordinator. A worker that lingers anyway is killed.
 	done := make(chan struct{})
 	go func() { h.wait(); close(done) }()
+	//mlint:allow detrange reaping a dead worker process races wall time by design; no simulated state here
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):

@@ -176,6 +176,7 @@ func (w *worker) heartbeat(every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
+		//mlint:allow detrange heartbeat liveness is supervision-side; shard stepping stays on the command loop
 		select {
 		case <-w.hbStop:
 			return

@@ -112,7 +112,7 @@ const NoEvent = int64(math.MaxInt64)
 type Queue struct {
 	words []isa.Word
 	head  int
-	cap   int
+	cap   int `snap:"derived,fixed at construction; decode bounds-checks against it"`
 
 	Enqueued, Dropped uint64
 	HighWater         int

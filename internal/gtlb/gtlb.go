@@ -122,9 +122,9 @@ func (t *Table) Len() int { return len(t.entries) }
 // hardware structure consulted by the SEND instruction and the GPROBE
 // operation.
 type GTLB struct {
-	gdt      *Table
+	gdt      *Table `snap:"derived,machine-shared table, rewired at construction"`
 	resident []Entry
-	capacity int
+	capacity int `snap:"derived,fixed at construction; decode bounds-checks against it"`
 
 	Hits, Misses uint64
 }

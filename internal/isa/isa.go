@@ -14,6 +14,7 @@ package isa
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 )
 
@@ -409,10 +410,15 @@ func (in *Inst) String() string {
 }
 
 // Program is an assembled sequence of instructions for one H-Thread.
+//
+// Snapshots carry programs in the binary word form (EncodeProgram /
+// DecodeProgram embedded in the cluster stream), not field by field:
+// Name and Insts round-trip through that encoding; Labels are an
+// assembler artifact and are deliberately not preserved.
 type Program struct {
-	Name   string
-	Insts  []Inst
-	Labels map[string]int // label -> instruction index
+	Name   string         `snap:"derived,round-trips via the EncodeProgram word form"`
+	Insts  []Inst         `snap:"derived,round-trips via the EncodeProgram word form"`
+	Labels map[string]int `snap:"derived,assembler artifact, deliberately dropped"` // label -> instruction index
 }
 
 // Len returns the number of instructions.
@@ -422,11 +428,17 @@ func (p *Program) Len() int { return len(p.Insts) }
 // of Figure 5 and Section 3.1.
 func (p *Program) Depth() int { return len(p.Insts) }
 
-// String disassembles the program.
+// String disassembles the program. Labels sharing an instruction index
+// print in name order so the disassembly is stable run to run.
 func (p *Program) String() string {
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
+	}
+	slices.Sort(names)
 	rev := make(map[int][]string)
-	for name, idx := range p.Labels {
-		rev[idx] = append(rev[idx], name)
+	for _, name := range names {
+		rev[p.Labels[name]] = append(rev[p.Labels[name]], name)
 	}
 	var b strings.Builder
 	for i := range p.Insts {

@@ -1,0 +1,224 @@
+package lint
+
+// Module loading for the analyzer suite. The container has no
+// golang.org/x/tools, so this is a stdlib-only loader: `go list -export
+// -deps -json` enumerates every package in the module's build closure
+// and — crucially — the compiled export data the toolchain already
+// produced for each dependency, and the module's own packages are then
+// parsed and type-checked from source against that export data via the
+// lookup form of go/importer. The result is the same (fset, syntax,
+// types.Info) triple an x/tools analysis.Pass would carry.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path      string   // import path, e.g. repro/internal/noc
+	Name      string   // package name
+	Dir       string   // source directory
+	Filenames []string // absolute paths of the non-test Go files
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Module is the loaded build closure: every module-local package in
+// dependency order, sharing one FileSet, plus an importer that resolves
+// both module packages (by their type-checked form) and dependencies
+// (by toolchain export data).
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	srcs   map[string][]byte // file path -> source, for directive scanning
+	imp    types.Importer
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// moduleImporter resolves module packages to their source-checked form
+// and everything else through the toolchain's export data.
+type moduleImporter struct {
+	gc   types.Importer
+	ours map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.ours[path]; ok {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}
+
+// Load lists patterns (plus any extra import paths whose export data the
+// caller wants resolvable, e.g. fixture imports) from dir and
+// type-checks every main-module package from source.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var locals []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main {
+			q := p
+			locals = append(locals, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := &moduleImporter{
+		gc:   importer.ForCompiler(fset, "gc", lookup),
+		ours: map[string]*types.Package{},
+	}
+	m := &Module{
+		Fset:   fset,
+		byPath: map[string]*Package{},
+		srcs:   map[string][]byte{},
+		imp:    imp,
+	}
+
+	// -deps emits dependencies before dependents, so a single in-order
+	// pass sees every module-local import already checked.
+	for _, lp := range locals {
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package (e.g. the module root)
+		}
+		pkg, err := m.check(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.ours[lp.ImportPath] = pkg.Types
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[lp.ImportPath] = pkg
+	}
+	return m, nil
+}
+
+// check parses and type-checks one package from source.
+func (m *Module) check(path, dir string, goFiles []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range goFiles {
+		fn := filepath.Join(dir, name)
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(m.Fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		m.srcs[fn] = src
+		pkg.Filenames = append(pkg.Filenames, fn)
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files", path)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Info = newInfo()
+	conf := types.Config{Importer: m.imp}
+	tp, err := conf.Check(path, m.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// CheckDir type-checks the non-test Go files of dir as a standalone
+// package whose import path is asPath, resolving imports through this
+// module's importer. Fixture tests use it to compile a testdata package
+// "as if" it lived at a simulation-critical import path, so the
+// package-scoped analyzers treat it accordingly.
+func (m *Module) CheckDir(dir, asPath string) (*Module, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			goFiles = append(goFiles, n)
+		}
+	}
+	pkg, err := m.check(asPath, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	fm := &Module{
+		Fset:   m.Fset,
+		Pkgs:   []*Package{pkg},
+		byPath: map[string]*Package{asPath: pkg},
+		srcs:   m.srcs,
+		imp:    m.imp,
+	}
+	return fm, nil
+}

@@ -1,0 +1,33 @@
+// Package clfix is the copylocks fixture: values whose type carries a
+// lock must not be copied; pointers and fresh composite literals are
+// fine.
+package clfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func badParam(c counter) int { // want `parameter passes lock-bearing`
+	return c.n
+}
+
+func badCopy(c *counter) {
+	snapshot := *c // want `copies lock-bearing`
+	_ = snapshot
+}
+
+func goodPointer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// fresh is allowed: a composite literal creates a value, it does not
+// copy an existing one.
+func fresh() *counter {
+	c := counter{}
+	return &c
+}

@@ -1,0 +1,44 @@
+// Package dtfix is the detrange fixture; lint_test compiles it at a
+// simulation-critical import path, so map ranges and multi-ready
+// selects are flagged unless sorted or explicitly allowed.
+package dtfix
+
+import "sort"
+
+func badMapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map m iterates in randomized order`
+		s += k
+	}
+	return s
+}
+
+func badSelect(a, b chan int) int {
+	select { // want `select with 2 communication cases arbitrates pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// sortedKeys is the canonical exemption: collecting keys and sorting
+// them before use is the repo's deterministic-iteration idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowedRange shows the reasoned escape hatch.
+func allowedRange(m map[int]bool) int {
+	n := 0
+	//mlint:allow detrange fixture: entry count is iteration-order independent
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// Package dirfix is the directive fixture: suppressions without a
+// reason, or naming an unknown analyzer, are themselves diagnostics.
+package dirfix
+
+func noReason(m map[int]int) int {
+	s := 0
+	//mlint:allow detrange
+	for k := range m { // want `range over map m iterates in randomized order`
+		s += k
+	}
+	return s
+}
+
+func unknownAnalyzer(m map[int]int) int {
+	s := 0
+	//mlint:allow nosuchpass keys are stable
+	for k := range m { // want `range over map m iterates in randomized order`
+		s += k
+	}
+	return s
+}

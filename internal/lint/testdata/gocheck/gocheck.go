@@ -1,0 +1,12 @@
+// Package gofix is the gocheck fixture; lint_test compiles it at a
+// simulation-critical import path, so bare go statements are flagged.
+package gofix
+
+func bad(ch chan int) {
+	go func() { ch <- 1 }() // want `bare go statement escapes panic containment and the watchdogs`
+}
+
+func allowed(done chan struct{}) {
+	//mlint:allow gocheck fixture: supervised helper with its own recover
+	go func() { close(done) }()
+}

@@ -1,0 +1,32 @@
+// Package nilfix is the nilness fixture: dereferencing a variable on a
+// branch where the guard proves it nil is flagged; reassignment inside
+// the branch clears the fact.
+package nilfix
+
+type node struct {
+	next *node
+	val  int
+}
+
+func bad(n *node) int {
+	if n == nil {
+		return n.val // want `"n" is nil on this path`
+	}
+	return n.val
+}
+
+func guarded(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}
+
+// reassigned is allowed: the branch replaces n before the dereference.
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}

@@ -1,0 +1,28 @@
+// Package shfix is the shadow fixture: an inner := redeclaring an outer
+// variable that is still used after the inner scope is flagged;
+// if-init and range-clause shadows are idiomatic and exempt.
+package shfix
+
+import "errors"
+
+func work() (int, error) { return 1, nil }
+
+func bad() error {
+	n, err := work()
+	if n > 0 {
+		m, err := work() // want `declaration of "err" shadows declaration at`
+		_, _ = m, err
+	}
+	return err
+}
+
+// guarded is exempt: the if-init shadow is scoped to the guard and is
+// the language's idiom for exactly that.
+func guarded() error {
+	n, err := work()
+	_ = n
+	if err := errors.New("scoped"); err != nil {
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+// Package sfix is the snapfields fixture: State round-trips through the
+// snap codec, so every field must appear on both the encode and decode
+// paths or carry a snap:"derived" tag.
+package sfix
+
+import "repro/internal/snap"
+
+type State struct {
+	A       uint64
+	B       uint64
+	missing uint64 // want `field repro/internal/chip/sfix.State.missing is not referenced on the snapshot encode or decode path`
+	cache   uint64 `snap:"derived,recomputed from A and B on first use"`
+}
+
+func (s *State) EncodeState(w *snap.Writer) {
+	w.U64(s.A)
+	w.U64(s.B)
+}
+
+func (s *State) DecodeState(r *snap.Reader) {
+	s.A = r.U64()
+	s.B = r.U64()
+}
+
+// Digest is write-only — it is encoded (into hash inputs) but never
+// decoded — so snapfields does not conscript it into coverage and its
+// unreferenced field is fine.
+type Digest struct {
+	Sum   uint64
+	count uint64
+}
+
+func (d *Digest) EncodeDigest(w *snap.Writer) {
+	w.U64(d.Sum)
+}

@@ -1,0 +1,33 @@
+// Package wcfix is the wallclock fixture; lint_test compiles it at a
+// simulation-critical import path, so host-clock reads and the global
+// rand source are flagged.
+package wcfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the host clock on a simulation path`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock on a simulation path`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(4) // want `rand.Intn uses the process-global random source`
+}
+
+// seededSource is allowed: constructors build an owned, explicitly
+// seeded source rather than touching the process-global one.
+func seededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// allowedNow shows the reasoned escape hatch.
+func allowedNow() time.Time {
+	//mlint:allow wallclock fixture: supervision-style deadline, not simulated time
+	return time.Now()
+}

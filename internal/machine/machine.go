@@ -63,7 +63,7 @@ type Config struct {
 	// the node count are clamped. The parallel engine is bit-identical to
 	// the serial event engine (enforced by TestDeterminismThreeWay in core)
 	// and is ignored under the naive reference engine and by RunUntil.
-	Workers int
+	Workers int `snap:"derived,engine selection, never affects simulated results"`
 
 	// RebalanceEvery is the parallel engine's shard-rebalance window, in
 	// dispatched busy cycles: after each window the pool re-draws shard
@@ -71,7 +71,7 @@ type Config struct {
 	// DESIGN.md, "Active-set scheduling"). 0 selects the default window;
 	// negative disables rebalancing. Rebalancing never affects simulated
 	// results — only which worker steps which chip.
-	RebalanceEvery int64
+	RebalanceEvery int64 `snap:"derived,engine tuning, never affects simulated results"`
 }
 
 // DefaultConfig returns a 2x1x1 machine (the two-node setup of the paper's
@@ -95,7 +95,7 @@ type Machine struct {
 	// future and jumps the clock over machine-wide idle stretches; both
 	// engines produce bit-identical state, cycle counts, fault behavior,
 	// and trace output (enforced by TestDeterminismEngines in core).
-	Naive bool
+	Naive bool `snap:"derived,engine selection, never affects simulated results"`
 
 	// nextPPN allocates physical pages per node for MapLocal; runtime
 	// handlers allocate from a separate high region (see AllocBase).
@@ -104,9 +104,9 @@ type Machine struct {
 	// workers is the normalized Config.Workers (>= 2 means the parallel
 	// chip engine is active); pool is its lazily started goroutine pool,
 	// and closed records Close so a later Step cannot resurrect it.
-	workers int
-	pool    *chipPool
-	closed  bool
+	workers int       `snap:"derived,normalized engine config"`
+	pool    *chipPool `snap:"derived,goroutine pool, rebuilt lazily"`
+	closed  bool      `snap:"derived,process-lifetime flag"`
 
 	// Supervision plumbing (DESIGN.md, "Supervised runs & fault
 	// injection"). runMu serializes Run/RunUntil against Close, so a
@@ -120,18 +120,18 @@ type Machine struct {
 	// never what any cycle computes. cycleGauge mirrors Cycle at the same
 	// point so monitors on other goroutines can observe progress without
 	// racing the engine. probe is the fault-injection hook (SetFaultProbe).
-	runMu      sync.Mutex
-	stopReq    atomic.Bool
-	cycleGauge atomic.Int64
-	probe      func(node int, cycle int64)
+	runMu      sync.Mutex                  `snap:"derived,supervision plumbing"`
+	stopReq    atomic.Bool                 `snap:"derived,supervision plumbing"`
+	cycleGauge atomic.Int64                `snap:"derived,supervision plumbing"`
+	probe      func(node int, cycle int64) `snap:"derived,fault-injection hook, reinstalled by the owner"`
 
 	// arrivalNodes tracks the nodes with delivered-but-unconsumed network
 	// messages (arrivalMark is its membership bitmap), maintained
 	// incrementally from noc.Network.DeliveredNodes so per-cycle arrival
 	// wake-ups cost O(affected nodes), not O(nodes). Used by the event
 	// engines only; the naive loop steps everything anyway.
-	arrivalNodes []int
-	arrivalMark  []bool
+	arrivalNodes []int  `snap:"derived,rebuilt by recomputeActive after Restore"`
+	arrivalMark  []bool `snap:"derived,rebuilt by recomputeActive after Restore"`
 
 	// Run-loop activity counters (ROADMAP, "Run-loop active sets"): the
 	// loop head's UserDone/Quiescent/totalIssued checks ran O(nodes) scans
@@ -143,13 +143,13 @@ type Machine struct {
 	// stepped chips — O(active) per cycle. recomputeActive rebuilds
 	// everything at Run/RunUntil entry and after Restore, covering
 	// external mutations (program loads, pokes) between runs.
-	runningUser int    // running user H-Threads across all chips
-	busyChips   int    // chips with outstanding work (!chip.Quiescent)
-	issuedTotal uint64 // sum of per-chip InstsIssued
-	chipRunning []int
-	chipBusy    []bool
-	chipIssued  []uint64
-	steppedBuf  []int // serial event phase scratch: chips stepped this cycle
+	runningUser int      `snap:"derived,rebuilt by recomputeActive after Restore"` // running user H-Threads across all chips
+	busyChips   int      `snap:"derived,rebuilt by recomputeActive after Restore"` // chips with outstanding work (!chip.Quiescent)
+	issuedTotal uint64   `snap:"derived,rebuilt by recomputeActive after Restore"` // sum of per-chip InstsIssued
+	chipRunning []int    `snap:"derived,rebuilt by recomputeActive after Restore"`
+	chipBusy    []bool   `snap:"derived,rebuilt by recomputeActive after Restore"`
+	chipIssued  []uint64 `snap:"derived,rebuilt by recomputeActive after Restore"`
+	steppedBuf  []int    `snap:"derived,per-cycle scratch"` // serial event phase scratch: chips stepped this cycle
 }
 
 // Reserved physical layout (words). The LPT base comes from the memory

@@ -207,7 +207,7 @@ func newChipPool(chips []*chip.Chip, workers int, rebalanceEvery int64) *chipPoo
 		s.slot.Store(idleCycle)
 		s.parked.Store(notParked)
 		p.rebuildShard(s, int32(w))
-		go p.worker(w)
+		go p.worker(w) //mlint:allow gocheck the supervised shard worker pool; workers park at the cycle barrier and panics are contained by guard
 	}
 	return p
 }

@@ -33,7 +33,7 @@ type cacheLine struct {
 
 // Cache is the node's on-chip data cache.
 type Cache struct {
-	cfg   CacheConfig
+	cfg   CacheConfig `snap:"derived,fixed at construction; decode validates against it"`
 	lines []cacheLine
 
 	Hits, Misses, Writebacks uint64

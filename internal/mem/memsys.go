@@ -130,23 +130,22 @@ type Device interface {
 
 // System is one node's complete memory system.
 type System struct {
-	cfg   Config
+	cfg   Config `snap:"derived,fixed at construction; decode validates against it"`
 	SDRAM *SDRAM
 	Cache *Cache
 	LTLB  *LTLB
 
-	devBase  uint64
-	devWords uint64
-	device   Device
+	devBase  uint64 `snap:"derived,I/O-bus attachment, preserved in place across restore"`
+	devWords uint64 `snap:"derived,I/O-bus attachment, preserved in place across restore"`
+	device   Device `snap:"derived,I/O-bus attachment, preserved in place across restore"`
 
 	inflight []Response
 	// earliest caches the minimum ReadyAt across inflight, so idle banks
 	// answer Step and NextEvent without scanning anything.
-	earliest int64
+	earliest int64 `snap:"derived,recomputed from decoded inflight"`
 	// ready is the reusable buffer returned by Step; the caller consumes it
 	// before the next Step call.
-	ready []Response
-	seq   uint64
+	ready []Response `snap:"derived,per-Step scratch"`
 	// bankFreeAt enforces one new request per bank per cycle (the M-Switch
 	// supports four transfers per cycle, one per bank).
 	bankFreeAt [4]int64

@@ -60,7 +60,7 @@ type sdramChunk struct {
 // by the (always-passing) integrity of the Go arrays; no latency is added,
 // matching a no-error run.
 type SDRAM struct {
-	cfg     SDRAMConfig
+	cfg     SDRAMConfig `snap:"derived,fixed at construction; decode validates against it"`
 	chunks  []*sdramChunk
 	openRow uint64
 	hasOpen bool

@@ -139,7 +139,7 @@ func (t LPT) Insert(s *SDRAM, e PTE) {
 type LTLB struct {
 	entries  []PTE
 	order    []int // FIFO of occupied slots
-	capacity int
+	capacity int   `snap:"derived,fixed at construction; decode bounds-checks against it"`
 
 	Hits, Misses uint64
 }

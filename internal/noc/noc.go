@@ -103,8 +103,8 @@ func (q *msgQueue) len() int { return len(q.buf) - q.head }
 
 // Network is the 3-D mesh interconnect shared by all nodes.
 type Network struct {
-	cfg  Config
-	dims Coord
+	cfg  Config `snap:"derived,fixed at construction; decode validates against it"`
+	dims Coord  `snap:"derived,fixed at construction; decode validates against it"`
 	// flight holds in-flight messages, one list per priority. Injection
 	// appends, so each list stays sorted by injection sequence; Step
 	// compacts in place, preserving that order.
@@ -114,7 +114,7 @@ type Network struct {
 	// a flat array indexed by linkIndex (node x dimension x direction x
 	// priority) holding the cycle through which the link is granted; stale
 	// entries are never consulted, so no per-cycle clearing is needed.
-	linkBusy []int64
+	linkBusy []int64 `snap:"derived,link grants replayed by the first post-restore Step"`
 	// arrivals holds delivered messages per node per priority until the
 	// node's network input interface consumes them, indexed by node id.
 	arrivals [][NumPriorities]msgQueue
@@ -122,18 +122,18 @@ type Network struct {
 	// It is atomic because Pop runs concurrently under the parallel chip
 	// engine (each chip pops only its own node's queues, so the queues
 	// themselves are unshared; this counter is the one cross-node write).
-	arrivalCount atomic.Int64
+	arrivalCount atomic.Int64 `snap:"derived,recomputed from decoded arrivals"`
 
 	// deliveredTo lists the nodes that received at least one delivery
 	// during the most recent Step, deduplicated via deliveredMark (per-node
 	// cycle of the last recorded delivery). The machine uses it to wake
 	// exactly the affected chips instead of scanning every node per cycle.
-	deliveredTo   []int
-	deliveredMark []int64
+	deliveredTo   []int   `snap:"derived,per-Step delivery set, rebuilt each Step"`
+	deliveredMark []int64 `snap:"derived,per-Step delivery set, rebuilt each Step"`
 
 	// nextWake caches the earliest readyAt among in-flight messages,
 	// recomputed by Step and lowered by Inject (the NextEvent source).
-	nextWake int64
+	nextWake int64 `snap:"derived,recomputed from decoded in-flight messages"`
 
 	// Stats.
 	Injected, Delivered uint64

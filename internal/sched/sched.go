@@ -370,15 +370,27 @@ func (ra *regAlloc) canIssue(n *Node) bool {
 	case KindLoad:
 		return len(ra.free) > 0
 	}
-	dec := map[*Node]int{}
-	for _, a := range n.args {
-		if a.kind != KindConst {
-			dec[a]++
-		}
-	}
+	// Count each distinct operand once (args may repeat, e.g. x*x); the
+	// operand lists are tiny, so a quadratic dedup beats a map allocation
+	// on this hot path and keeps the iteration order deterministic.
 	freed := 0
-	for a, d := range dec {
-		if ra.uses[a]-d == 0 {
+	for i, a := range n.args {
+		if a.kind == KindConst {
+			continue
+		}
+		dup := false
+		d := 0
+		for j, b := range n.args {
+			if b != a {
+				continue
+			}
+			if j < i {
+				dup = true
+				break
+			}
+			d++
+		}
+		if !dup && ra.uses[a]-d == 0 {
 			freed++
 		}
 	}

@@ -436,13 +436,13 @@ func (p *parser) parseProgram(t *toks, kw token) (*ProgramDecl, error) {
 	}
 	decl := &ProgramDecl{Pos: name.pos, Name: name.text}
 	if kw.text == "generate" {
-		kind, err := t.expectIdent()
-		if err != nil {
-			return nil, err
+		kind, gerr := t.expectIdent()
+		if gerr != nil {
+			return nil, gerr
 		}
-		args, argPos, err := p.parseKeyArgs(t, nil)
-		if err != nil {
-			return nil, err
+		args, argPos, gerr := p.parseKeyArgs(t, nil)
+		if gerr != nil {
+			return nil, gerr
 		}
 		decl.Gen = &GenSpec{Pos: kind.pos, Kind: kind.text, Args: args, ArgPos: argPos}
 		return decl, nil
