@@ -3,7 +3,10 @@
 # matrix is too slow under the race detector's instrumentation), the
 # checkpoint round-trip gate, an examples link pass, an end-to-end run of
 # every checked-in workload scenario (testdata/workloads/*.wl under
-# msim), the fault-injection soak and a snapshot-decoder fuzzing smoke
+# msim), a shuffled short test pass (order-dependent tests are bugs),
+# the generated-scenario determinism fuzzer (mbench -gen: 200 wgen
+# seeds, every engine, bit-identical, failures replayable with
+# msim -gen-seed), the fault-injection soak and a snapshot-decoder fuzzing smoke
 # (the supervision layer's containment contracts, see DESIGN.md
 # "Supervised runs & fault injection"), the msimd service chaos soak
 # (mbench -serve: checkpoint-based recovery must be bit-identical, see
@@ -19,9 +22,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke bench benchdiff
+.PHONY: ci build vet lint test shuffle race speedup checkpoint examples wl gen faults serve dist fuzz-smoke bench-smoke bench benchdiff
 
-ci: build vet lint test race speedup checkpoint examples wl faults serve dist fuzz-smoke bench-smoke benchdiff
+ci: build vet lint test shuffle race speedup checkpoint examples wl gen faults serve dist fuzz-smoke bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -41,6 +44,13 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# Shuffled short pass: test order dependence is a determinism bug of the
+# test suite itself (shared package-level engine defaults, leaked global
+# state). -shuffle prints its seed, so an order-dependent failure is
+# reproducible.
+shuffle:
+	$(GO) test -shuffle=on -short -count=1 ./...
 
 race:
 	$(GO) test -race -short ./...
@@ -79,6 +89,14 @@ wl:
 		$(GO) run ./cmd/msim -workload $$f >/dev/null || exit 1; \
 	done; echo "wl: all scenarios OK"
 
+# Generated-scenario determinism fuzzer (internal/wgen via cmd/mbench
+# -gen): 200 seed-derived scenarios — sweeps, user-mode grants, message
+# storms — each run under every in-process engine (plus a distributed
+# subsample), bit-identical digests and trace streams required. A
+# failure prints the seed; `msim -gen-seed N` replays it.
+gen:
+	$(GO) run ./cmd/mbench -gen 200
+
 # Deterministic fault-injection soak (cmd/mbench/faults.go): injected
 # panics at chosen (chip, cycle) sites, stalls, budget cutoffs, crash
 # dumps, and seeded snapshot-stream corruptions must all be contained by
@@ -104,12 +122,15 @@ dist:
 	$(GO) run ./cmd/mbench -dist
 	$(GO) test -race -count=1 ./internal/dist
 
-# Native fuzzing smoke over the snapshot decoder: corrupt stream =>
-# descriptive error, never a panic, never a half-mutated machine.
-# Minimization is capped so the 10s budget is spent fuzzing rather than
-# shrinking ~100KB snapshot inputs.
+# Native fuzzing smoke over the snapshot decoder (corrupt stream =>
+# descriptive error, never a panic, never a half-mutated machine;
+# minimization is capped so the 10s budget is spent fuzzing rather than
+# shrinking ~100KB snapshot inputs) and the DSL front end (arbitrary
+# source => positional error or a valid lowering, never a panic; the
+# checked-in corpus slants toward the sweep/grant parser paths).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s -fuzzminimizetime 5x ./internal/machine
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/wdsl
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -28,6 +28,9 @@
 //	mbench -faults        # deterministic fault-injection soak (faults.go):
 //	                      # injected panics/stalls/corrupt snapshots must
 //	                      # all be contained by the supervision layer
+//	mbench -gen 200       # generated-scenario determinism matrix (gen.go):
+//	                      # wgen seeds 0..199, every engine, bit-identical
+//	                      # results; failures print an msim -gen-seed repro
 package main
 
 import (
@@ -78,6 +81,11 @@ type report struct {
 }
 
 func cyc(name string, v int64) Metric { return Metric{Name: name, Value: float64(v), Unit: "cycles"} }
+
+// defaultWLGlob is the -wl default: every checked-in workload scenario.
+// Named so the drift-guard test (main_test.go) can pin the pickup set
+// against the directory contents.
+const defaultWLGlob = "testdata/workloads/*.wl"
 
 var experiments = []experiment{
 	{"table1", "E1. Table 1: local and remote access times", func() (string, []Metric, error) {
@@ -280,12 +288,20 @@ func main() {
 
 	exp := flag.String("exp", "", "run a single experiment by name")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (metrics + wall time per experiment)")
-	wlGlob := flag.String("wl", "testdata/workloads/*.wl", "glob of workload scenarios to run as experiments (\"\" disables)")
+	wlGlob := flag.String("wl", defaultWLGlob, "glob of workload scenarios to run as experiments (\"\" disables)")
 	faults := flag.Bool("faults", false, "run the deterministic fault-injection soak instead of the experiments")
 	serveSoak := flag.Bool("serve", false, "run the msimd service chaos-recovery soak instead of the experiments")
 	distSoak := flag.Bool("dist", false, "run the distributed-engine determinism and recovery soak instead of the experiments")
+	gen := flag.Int("gen", 0, "run this many generated scenarios (seeds 0..N-1) through the engine determinism matrix instead of the experiments")
 	flag.Parse()
 
+	if *gen > 0 {
+		if err := runGenMatrix(os.Stdout, *gen); err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: gen matrix: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *faults {
 		if err := runFaultSoak(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mbench: fault soak: %v\n", err)

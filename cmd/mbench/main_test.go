@@ -1,0 +1,68 @@
+package main
+
+// Drift guard for the workload-scenario corpus: every file checked in
+// under testdata/workloads/ must be picked up by the default -wl glob
+// (and therefore run by `make wl`, the BENCH trajectory, and the
+// glob-driven core.TestScenarioFiles). A scenario that falls out of the
+// pickup — a typo'd extension, a glob edit, a moved directory — stops
+// being tested without any test knowing its name; this test knows the
+// directory instead.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const workloadDir = "../../testdata/workloads"
+
+func TestScenarioPickup(t *testing.T) {
+	entries, err := os.ReadDir(workloadDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Errorf("unexpected directory %s under %s", e.Name(), workloadDir)
+			continue
+		}
+		// Anything that is not a .wl file silently escapes both the
+		// glob here and the core test suite's pickup.
+		if !strings.HasSuffix(e.Name(), ".wl") {
+			t.Errorf("%s/%s is not a .wl file: it will never be run by any test or bench leg", workloadDir, e.Name())
+			continue
+		}
+		files = append(files, e.Name())
+	}
+	if len(files) < 9 {
+		t.Fatalf("expected at least 9 checked-in scenarios, found %d", len(files))
+	}
+
+	exps, err := scenarioExperiments(filepath.Join("../..", defaultWLGlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	picked := make(map[string]bool, len(exps))
+	for _, e := range exps {
+		picked[e.name] = true
+	}
+	for _, f := range files {
+		if want := "wl-" + strings.TrimSuffix(f, ".wl"); !picked[want] {
+			t.Errorf("scenario %s is not picked up as experiment %s by the default -wl glob", f, want)
+		}
+	}
+	if len(exps) != len(files) {
+		t.Errorf("pickup count %d != scenario file count %d", len(exps), len(files))
+	}
+
+	// The DSL v2 anchors must stay in the corpus by name: sweepexchange
+	// is the sweep bit-identity fixture (core.TestSweepMatchesStandalone)
+	// and gpwalk the user-mode grant fixture (core.TestGrantProtection).
+	for _, name := range []string{"wl-sweepexchange", "wl-gpwalk"} {
+		if !picked[name] {
+			t.Errorf("anchor scenario %s missing from the pickup", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	msim [flags] prog.masm          assemble and run one program
 //	msim -workload scenario.wl      compile and run a DSL scenario
+//	msim -gen-seed N                replay one generated-fuzzer seed
 //
 // Flags are grouped:
 //
@@ -14,6 +15,7 @@
 //	engine:       -naive -workers -caching -dist
 //	snapshot:     -save -restore
 //	workload:     -workload
+//	generator:    -gen-seed -gen-dump
 //
 // In single-program mode the program runs privileged (raw addressing) on
 // the selected H-Thread slot; the software runtime (LTLB miss, message,
@@ -32,6 +34,12 @@
 // across N shard worker processes supervised by a coordinator with
 // checkpoint-based recovery — see cmd/mshard for the full-featured
 // distributed front end with fault drills and tunable supervision.
+//
+// -gen-seed N replays seed N of the scenario fuzzer (internal/wgen):
+// the seed's generated scenario runs under every engine of the
+// determinism matrix, exactly what `mbench -gen` (the `make gen` CI
+// leg) did when it printed N as a failing seed. -gen-dump prints the
+// generated source instead of running it.
 //
 // Every run is supervised (internal/guard): panics are contained,
 // -timeout (or a scenario's deadline/budget directives) cuts off runaway
@@ -58,6 +66,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/snap"
 	"repro/internal/trace"
+	"repro/internal/wgen"
 )
 
 // flagGroups drives the grouped -h output: every flag msim defines is
@@ -71,6 +80,7 @@ var flagGroups = []struct {
 	{"snapshot", []string{"save", "restore"}},
 	{"supervision", []string{"timeout", "crash-dump"}},
 	{"workload", []string{"workload"}},
+	{"generator", []string{"gen-seed", "gen-dump"}},
 }
 
 func main() {
@@ -98,9 +108,26 @@ func main() {
 	crashDump := flag.String("crash-dump", "", "write a machine snapshot here on crash, timeout, or budget exhaustion")
 	// Workload.
 	workloadPath := flag.String("workload", "", "run a declarative workload scenario (.wl file)")
+	// Generator.
+	genSeed := flag.Int64("gen-seed", -1, "run the wgen scenario for this seed through the engine determinism matrix (repro for mbench -gen / make gen failures)")
+	genDump := flag.Bool("gen-dump", false, "with -gen-seed, print the generated scenario source instead of running it")
 
 	flag.Usage = usage
 	flag.Parse()
+
+	if *genSeed >= 0 {
+		if flag.NArg() != 0 {
+			usageErr("-gen-seed generates its own scenario; the positional program argument does not apply")
+		}
+		if name := genFlagConflict(flag.Visit); name != "" {
+			usageErr("-%s does not combine with -gen-seed (the generated scenario and the verification matrix define it)", name)
+		}
+		runGenSeed(uint64(*genSeed), *genDump)
+		return
+	}
+	if *genDump {
+		usageErr("-gen-dump requires -gen-seed")
+	}
 
 	engine := core.Options{NaiveEngine: *naive, Workers: *workers, Timeout: *timeout, CrashDump: *crashDump}
 	if *workloadPath != "" {
@@ -288,6 +315,24 @@ func runWorkloadDist(path string, shards int, showTrace bool) {
 	}
 }
 
+// runGenSeed reproduces one seed of the generated-scenario determinism
+// fuzzer: with dump, print the seed's scenario source (pipe it to a file
+// and run it with -workload to poke at it manually); otherwise run the
+// full engine matrix, exactly what `mbench -gen` ran when it printed
+// this seed as failing.
+func runGenSeed(seed uint64, dump bool) {
+	name, src := wgen.Source(seed)
+	if dump {
+		fmt.Print(src)
+		return
+	}
+	if err := wgen.Verify(seed); err != nil {
+		fmt.Fprintf(os.Stderr, "msim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("seed %d (%s.wl): determinism matrix verified\n", seed, name)
+}
+
 // printStats renders the machine statistics line shared by both modes.
 func printStats(s *core.Sim) {
 	st := s.Stats()
@@ -300,6 +345,7 @@ func usage() {
 	w := flag.CommandLine.Output()
 	fmt.Fprintf(w, "usage: msim [flags] prog.masm\n")
 	fmt.Fprintf(w, "       msim [engine flags] [-trace] -workload scenario.wl\n")
+	fmt.Fprintf(w, "       msim -gen-seed N [-gen-dump]\n")
 	for _, g := range flagGroups {
 		fmt.Fprintf(w, "\n%s:\n", g.name)
 		for _, name := range g.flags {
@@ -396,6 +442,21 @@ func distFlagConflict(visit func(func(*flag.Flag))) string {
 	conflict := ""
 	visit(func(f *flag.Flag) {
 		if conflict == "" && incompatible[f.Name] {
+			conflict = f.Name
+		}
+	})
+	return conflict
+}
+
+// genFlagConflict returns the first explicitly-set flag that -gen-seed
+// does not combine with. The generated scenario owns the mesh and
+// placement, and the verification matrix owns the engines and
+// supervision, so only -gen-dump rides along.
+func genFlagConflict(visit func(func(*flag.Flag))) string {
+	compatible := map[string]bool{"gen-seed": true, "gen-dump": true}
+	conflict := ""
+	visit(func(f *flag.Flag) {
+		if conflict == "" && !compatible[f.Name] {
 			conflict = f.Name
 		}
 	})

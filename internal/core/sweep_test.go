@@ -1,0 +1,172 @@
+package core
+
+// Sweep execution tests: the fork-per-point bit-identity contract
+// (DESIGN.md "Workload DSL v2") and the user-mode grant path. The
+// anchor is TestSweepMatchesStandalone: every sweep point's final
+// machine digest must equal the digest of a fresh-boot standalone run
+// of the same point (shared prefix replayed from scratch), under every
+// engine.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scenarioSource reads a checked-in scenario's DSL source.
+func scenarioSource(t *testing.T, file string) (string, error) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(workloadDir, file))
+	return string(b), err
+}
+
+// sweepScenario compiles the checked-in sweep scenario.
+func sweepScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := ScenarioFromFile(filepath.Join(workloadDir, "sweepexchange.wl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Plan.Sweep == nil {
+		t.Fatal("sweepexchange.wl lowered without a sweep")
+	}
+	return sc
+}
+
+// TestSweepMatchesStandalone pins each forked sweep point bit-identical
+// to running prefix + point from boot, under every engine: same final
+// machine digest, same phase cycle counts, same check counts.
+func TestSweepMatchesStandalone(t *testing.T) {
+	var refDigests []string
+	for i, m := range engineModes {
+		m := m
+		digests, err := underMode(m, func() (string, error) {
+			sc := sweepScenario(t)
+			res, err := sc.Run(Options{})
+			if err != nil {
+				return "", err
+			}
+			if len(res.Points) != len(sc.Plan.Sweep.Points) {
+				t.Fatalf("%s: %d point results for %d points", m.name, len(res.Points), len(sc.Plan.Sweep.Points))
+			}
+			var ds []string
+			for pi, pr := range res.Points {
+				// Standalone: the same point replayed from a fresh boot.
+				alone := &Scenario{Name: sc.Name, Plan: sc.Plan.PointPlan(pi)}
+				ares, err := alone.Run(Options{})
+				if err != nil {
+					return "", err
+				}
+				if ares.Digest != pr.Digest {
+					t.Errorf("%s: point %s digest %s, standalone %s",
+						m.name, pr.Name, pr.Digest, ares.Digest)
+				}
+				if ares.Checks != pr.Checks {
+					t.Errorf("%s: point %s checks %d, standalone %d",
+						m.name, pr.Name, pr.Checks, ares.Checks)
+				}
+				// The standalone run's phases are prefix phases + the
+				// point's own; the forked point records only its own.
+				tail := ares.Phases[len(ares.Phases)-len(pr.Phases):]
+				for k, ph := range pr.Phases {
+					wantName := pr.Name + "/" + tail[k].Name
+					if ph.Name != wantName || ph.Cycles != tail[k].Cycles {
+						t.Errorf("%s: point %s phase %d = %s/%d cycles, standalone %s/%d",
+							m.name, pr.Name, k, ph.Name, ph.Cycles, wantName, tail[k].Cycles)
+					}
+				}
+				ds = append(ds, pr.Digest)
+			}
+			return strings.Join(ds, "\n"), nil
+		})
+		if err != nil {
+			t.Fatalf("%s engine: %v", m.name, err)
+		}
+		got := strings.Split(digests, "\n")
+		if i == 0 {
+			refDigests = got
+			continue
+		}
+		for k := range refDigests {
+			if got[k] != refDigests[k] {
+				t.Errorf("point %d digest diverged between engines: %s=%s %s=%s",
+					k, engineModes[0].name, refDigests[k], m.name, got[k])
+			}
+		}
+	}
+}
+
+// TestSweepResultShape checks the sweep result bookkeeping: the shared
+// prefix runs once (TotalCycles and Stats cover only the staging
+// machine), phases carry point-prefixed names, and checks accumulate
+// across points.
+func TestSweepResultShape(t *testing.T) {
+	sc := sweepScenario(t)
+	res, err := sc.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := len(sc.Plan.Sweep.Points)
+	if res.Checks != points {
+		t.Errorf("checks = %d, want %d (one per point)", res.Checks, points)
+	}
+	if res.Digest == "" {
+		t.Error("sweep result has no staging digest")
+	}
+	seen := map[string]bool{}
+	for _, pr := range res.Points {
+		if pr.Digest == "" {
+			t.Errorf("point %s has no digest", pr.Name)
+		}
+		if seen[pr.Digest] {
+			t.Errorf("point %s digest repeats an earlier point's: the points did not diverge", pr.Name)
+		}
+		seen[pr.Digest] = true
+		if pr.TotalCycles <= res.TotalCycles {
+			t.Errorf("point %s ended at cycle %d, not after the staging prefix's %d",
+				pr.Name, pr.TotalCycles, res.TotalCycles)
+		}
+	}
+	// One staging phase + one storm phase per point.
+	if want := 1 + points; len(res.Phases) != want {
+		t.Errorf("%d phases, want %d", len(res.Phases), want)
+	}
+	for _, ph := range res.Phases[1:] {
+		if !strings.Contains(ph.Name, "/") {
+			t.Errorf("point phase %q lacks the point prefix", ph.Name)
+		}
+	}
+}
+
+// TestGrantProtection checks that the grant path really grants — and
+// only what it names: the gpwalk scenario succeeds with its read-write
+// pointer, and the identical program under a read-only pointer must
+// not complete its stores.
+func TestGrantProtection(t *testing.T) {
+	src, err := scenarioSource(t, "gpwalk.wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScenarioFromDSL("gpwalk.wl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sc.Run(Options{}); err != nil {
+		t.Fatalf("read-write walk: %v", err)
+	} else if res.Checks != 3 {
+		t.Fatalf("read-write walk passed %d checks, want 3", res.Checks)
+	}
+
+	ro := strings.Replace(src, "perms=rw", "perms=r", 1)
+	if ro == src {
+		t.Fatal("gpwalk.wl no longer grants perms=rw; update this test")
+	}
+	sc, err = ScenarioFromDSL("gpwalk-ro.wl", ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(Options{}); err == nil {
+		t.Fatal("store through a read-only guarded pointer succeeded")
+	}
+}

@@ -10,10 +10,13 @@ package core
 // picks up testdata/workloads/*.wl).
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 
 	"repro/internal/guard"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/wdsl"
 	"repro/internal/workload"
@@ -67,8 +70,29 @@ type PhaseResult struct {
 type ScenarioResult struct {
 	Phases      []PhaseResult
 	TotalCycles int64 // machine cycle counter at the end of the run
-	Checks      int   // expect/check steps that passed
+	Checks      int   // expect/check steps that passed; sweeps: all points
 	Stats       Stats
+	// Digest is the machine-state fingerprint at the end of a successful
+	// run (hex sha256 of the snapshot stream, computed before Close —
+	// the same function as dist.Digest). For sweep scenarios it covers
+	// the staging machine after the prefix; per-point fingerprints are
+	// in Points.
+	Digest string
+	// Points holds per-point results for sweep scenarios; nil otherwise.
+	Points []PointResult
+}
+
+// machineDigest is the canonical state fingerprint: the hex sha256 of
+// the full snapshot stream. It matches dist.Digest bit for bit (core
+// cannot import dist — dist imports core), so sweep-point digests,
+// scenario digests, and distributed-run digests are directly
+// comparable.
+func machineDigest(m *machine.Machine) (string, error) {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Run boots a machine per the scenario's mesh/caching declarations and
@@ -96,6 +120,9 @@ func (sc *Scenario) Run(o Options) (*ScenarioResult, error) {
 // guard.IsHang — the machine is abandoned un-Closed, because a wedged
 // run goroutine still owns it.
 func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
+	if sc.Plan.Sweep != nil {
+		return sc.runSweep(o)
+	}
 	gopt := guard.Options{Timeout: o.Timeout, CycleBudget: o.CycleBudget, DumpPath: o.CrashDump}
 	if gopt.Timeout == 0 {
 		gopt.Timeout = sc.Plan.Deadline
@@ -114,6 +141,9 @@ func (sc *Scenario) RunSim(o Options) (*ScenarioResult, *Sim, error) {
 		res, e = sc.runOn(s, sup)
 		return e
 	})
+	if err == nil {
+		res.Digest, err = machineDigest(s.M)
+	}
 	if !guard.IsHang(err) {
 		s.M.Close()
 	}
@@ -179,7 +209,11 @@ func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, res *S
 			if err != nil {
 				return err
 			}
-			if err := s.LoadASM(st.Node, st.VThread, st.Cluster, src); err != nil {
+			load := s.LoadASM
+			if st.User {
+				load = s.LoadUserASM
+			}
+			if err := load(st.Node, st.VThread, st.Cluster, src); err != nil {
 				return fail("%v", err)
 			}
 			return nil
@@ -189,7 +223,17 @@ func (sc *Scenario) step(s *Sim, env workload.Env, st *workload.PlanStep, res *S
 			return err
 		}
 		for k, p := range progs {
-			s.LoadProgram(st.Node, st.VThread, st.Cluster+k, p, true)
+			s.LoadProgram(st.Node, st.VThread, st.Cluster+k, p, !st.User)
+		}
+		return nil
+
+	case workload.PlanGrant:
+		addr, err := st.Addr(env)
+		if err != nil {
+			return err
+		}
+		if err := s.GrantPointer(st.Node, st.VThread, st.Cluster, st.Reg, st.Perms, st.SegLen, addr); err != nil {
+			return fail("grant: %v", err)
 		}
 		return nil
 

@@ -24,8 +24,8 @@ func TestScenarioFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 7 {
-		t.Fatalf("expected at least 7 checked-in scenarios, found %d", len(files))
+	if len(files) < 9 {
+		t.Fatalf("expected at least 9 checked-in scenarios, found %d", len(files))
 	}
 	for _, path := range files {
 		path := path

@@ -39,6 +39,11 @@ type RunResult struct {
 // a *guard.StallError. The returned Sim's machine is closed but
 // readable, as after Scenario.RunSim.
 func RunScenario(sc *core.Scenario, o core.Options, cfg Config) (*RunResult, *core.Sim, error) {
+	if sc.Plan.Sweep != nil {
+		// Sweep points fork the hub machine mid-run; sharded workers
+		// can't follow a fork. Run sweeps in-process (Scenario.Run).
+		return nil, nil, errors.New("dist: sweep scenarios are not supported on the distributed engine")
+	}
 	// The hub's chips never step; force the serial in-process engine so
 	// no worker pool spins up under a machine used only as a state store.
 	o.NaiveEngine = false

@@ -15,7 +15,10 @@ import "strings"
 // reach simulated state and break the cross-engine bit-identity matrix.
 // internal/dist is included for detrange because the worker stepping
 // and frame encode/decode paths feed simulated state (the coordinator's
-// recovery must replay bit-identically too).
+// recovery must replay bit-identically too). internal/wgen is included
+// because a seed must name the same generated scenario on every host,
+// forever — the generator is part of the reproducibility contract
+// behind `msim -gen-seed`.
 var simCritical = []string{
 	"repro/internal/chip",
 	"repro/internal/cluster",
@@ -28,6 +31,7 @@ var simCritical = []string{
 	"repro/internal/mem",
 	"repro/internal/noc",
 	"repro/internal/sched",
+	"repro/internal/wgen",
 }
 
 // wallClockAllowed is the allowlist of package paths where wall time

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/machine"
+	"repro/internal/wgen"
 )
 
 // fuzzNodes is the fuzz target machine's mesh size. One node keeps the
@@ -66,6 +67,29 @@ func scenarioSnapshot(f *testing.F, name string) []byte {
 	return buf.Bytes()
 }
 
+// wgenSnapshot runs one generated scenario (internal/wgen, the same
+// generator behind `msim -gen-seed`) and returns the finished machine's
+// snapshot. Generated scenarios reach machine states the hand-written
+// ones do not — user-mode threads holding guarded pointers, sweep
+// staging machines — so their snapshots seed decode paths the scenario
+// corpus alone would miss.
+func wgenSnapshot(f *testing.F, seed uint64) []byte {
+	name, src := wgen.Source(seed)
+	sc, err := core.ScenarioFromDSL(name+".wl", src)
+	if err != nil {
+		f.Fatalf("seed %d: %v", seed, err)
+	}
+	_, s, err := sc.RunSim(core.Options{})
+	if err != nil {
+		f.Fatalf("seed %d: %v", seed, err)
+	}
+	var buf bytes.Buffer
+	if err := s.M.Save(&buf); err != nil {
+		f.Fatalf("seed %d: save: %v", seed, err)
+	}
+	return buf.Bytes()
+}
+
 // Per-worker-process fuzz state: the target machine is built lazily on
 // the first execution and reset to its baseline after every accepted
 // stream, so executions are independent. fuzzBefore caches the target's
@@ -90,6 +114,8 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(scenarioSnapshot(f, "loopsync2.wl"))  // mesh 1: full decode path
 	f.Add(scenarioSnapshot(f, "stencil7x2.wl")) // mesh 1: full decode path
 	f.Add(scenarioSnapshot(f, "ringreduce.wl")) // mesh 4: dims-mismatch path
+	f.Add(wgenSnapshot(f, 0))                   // generated, mesh 1: user-mode state
+	f.Add(wgenSnapshot(f, 5))                   // generated, mesh 4 sweep: staging machine
 	c := faultinject.NewCorrupter(0x5eed)
 	f.Add(c.Truncate(base))
 	f.Add(c.FlipBit(base))

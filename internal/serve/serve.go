@@ -269,6 +269,12 @@ func (sv *Server) Submit(name, source string) (*Session, error) {
 	if err != nil {
 		return nil, &Rejection{Code: "parse", Detail: err.Error()}
 	}
+	if sc.Plan.Sweep != nil {
+		// Sweeps fork machines mid-run, which the session checkpoint
+		// format has no position encoding for; run them under msim.
+		return nil, &Rejection{Code: "unsupported",
+			Detail: "sweep scenarios are not supported by the session service"}
+	}
 	nodes := sc.Plan.Dims[0] * sc.Plan.Dims[1] * sc.Plan.Dims[2]
 	if nodes > sv.cfg.MaxNodes {
 		return nil, &Rejection{Code: "over-cap",

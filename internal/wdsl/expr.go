@@ -172,6 +172,45 @@ func evalCall(e *callExpr, args []int64, env *EvalEnv) (int64, error) {
 	return 0, errAt(env.File, e.p, "unknown function %q (builtins: home, xor, min, max)", e.fn)
 }
 
+// IdentName reports the identifier named by e when e is a bare
+// identifier reference, as in `perms=rw`: the grant step's perms
+// argument rides the expression grammar but is really a permission
+// string, which the lowering recovers with this accessor.
+func IdentName(e Expr) (string, bool) {
+	id, ok := e.(*identExpr)
+	if !ok {
+		return "", false
+	}
+	return id.name, true
+}
+
+// UsesIdent reports whether e references any identifier for which dep
+// returns true. The sweep lowering uses it to split a scenario's steps
+// into the sweep-independent staging prefix (executed once, forked per
+// point) and the sweep-dependent suffix (lowered per point).
+func UsesIdent(e Expr, dep func(string) bool) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *numExpr:
+		return false
+	case *identExpr:
+		return dep(e.name)
+	case *unaryExpr:
+		return UsesIdent(e.x, dep)
+	case *callExpr:
+		for _, a := range e.args {
+			if UsesIdent(a, dep) {
+				return true
+			}
+		}
+		return false
+	case *binExpr:
+		return UsesIdent(e.x, dep) || UsesIdent(e.y, dep)
+	}
+	return false
+}
+
 // parseExpr parses a greedy expression from the cursor: it consumes
 // tokens as long as they can extend the expression, so `node=0 addr=...`
 // stops cleanly at the next key.

@@ -1,0 +1,62 @@
+package wdsl_test
+
+// FuzzParse pins the DSL front end's robustness contract: arbitrary
+// input must parse deterministically and either succeed or produce a
+// positional *wdsl.Error — never a panic, never an error without a
+// file:line:col anchor. Inputs that parse are pushed on through
+// workload.FromDSL, so the fuzzer also drives the lowering's semantic
+// validation (sweep splitting, grant range checks, expression
+// evaluation) with whatever step soup the mutator invents. The seed
+// corpus (testdata/fuzz/FuzzParse) is slanted toward the v2 surface:
+// sweep declarations in both forms, user-mode loads, and grants.
+//
+// The external test package is deliberate: workload imports wdsl, so
+// lowering can only be exercised from outside the package.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wdsl"
+	"repro/internal/workload"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add("mesh 2\nsweep N 1 2 4\nrun N\n")
+	f.Add("mesh 1\nsweep N 1 .. 4\nprogram p\n    movi i1, #{N}\n    halt\nend\nload p on node 0\nrun 100\n")
+	f.Add("mesh N\nsweep N 2 3\nrun 10\n")
+	f.Add("mesh 1\nprogram p\n    halt\nend\nload p on node 0 user\ngrant node=0 reg=1 perms=rwxk seglen=6 addr=64\nrun 10\n")
+	f.Add("grant reg=1 perms=q addr=0\n")
+	f.Add("sweep P 1\n")
+	f.Add("sweep P 9 ..\n")
+	f.Add("mesh 1\nconst A 1<<40\ngrant reg=A perms=r addr=A\nrun A\n")
+	f.Add("workload \"w\"\nmesh 2 2\ncaching on\ndeadline 5s\nbudget 100\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := wdsl.Parse("t.wl", src)
+		if err != nil {
+			requirePositional(t, err)
+			// Parsing is a pure function of the source.
+			if _, err2 := wdsl.Parse("t.wl", src); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("parse not deterministic: %v vs %v", err, err2)
+			}
+			return
+		}
+		if _, err := workload.FromDSL(file); err != nil {
+			requirePositional(t, err)
+		}
+	})
+}
+
+// requirePositional fails unless err is a *wdsl.Error carrying a sane
+// source anchor.
+func requirePositional(t *testing.T, err error) {
+	t.Helper()
+	var perr *wdsl.Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %v is not a positional *wdsl.Error", err)
+	}
+	if perr.File != "t.wl" || perr.Pos.Line < 1 || perr.Pos.Col < 1 {
+		t.Fatalf("error %v has a bogus position (%q %d:%d)", err, perr.File, perr.Pos.Line, perr.Pos.Col)
+	}
+}

@@ -45,13 +45,22 @@ import (
 type File struct {
 	Name    string // diagnostics name (usually the file path)
 	Title   string // from the workload directive; "" if absent
-	Mesh    [3]int // X, Y, Z; zero if no mesh directive was present
+	Mesh    [3]int // X, Y, Z when all dims are literals; zero otherwise
 	MeshPos Pos
 	// MeshDimPos holds each dimension token's position (the directive's
 	// position for defaulted trailing dims), so range errors in the
 	// lowering can point at the offending number.
 	MeshDimPos [3]Pos
-	Caching    bool
+	// MeshExprs holds each dimension as an expression (all non-nil once a
+	// mesh directive was seen; defaulted trailing dims are the literal 1).
+	// Dimensions are usually integer literals — then Mesh mirrors their
+	// values — but may reference a sweep parameter (`mesh N` under
+	// `sweep N ...`), which the lowering evaluates per sweep point.
+	MeshExprs [3]Expr
+	Caching   bool
+	// Sweep is the scenario's parameter sweep declaration; nil when
+	// absent. At most one sweep directive per scenario.
+	Sweep *Sweep
 	// Deadline is the scenario's wall-clock watchdog (the deadline
 	// directive, e.g. `deadline 30s`); 0 when absent. Budget is its
 	// cycle-count watchdog (`budget EXPR`, evaluated against the consts
@@ -83,6 +92,21 @@ type Const struct {
 	Pos  Pos
 	Name string
 	Expr Expr
+}
+
+// Sweep is a parameter sweep declaration: `sweep NAME V1 V2 ...` lists
+// the parameter's values outright, `sweep NAME LO .. HI` sweeps an
+// inclusive integer range. Exactly one of Values / (Lo, Hi) is set; all
+// expressions must be static (consts and literals — no node, home(), or
+// dip bindings). The lowering produces one experiment per value, forking
+// the shared staging prefix once per point (see workload.SweepPlan and
+// DESIGN.md "Workload DSL v2").
+type Sweep struct {
+	Pos     Pos
+	Name    string
+	NamePos Pos
+	Values  []Expr
+	Lo, Hi  Expr
 }
 
 // ProgramDecl declares a loadable program: either an inline MAP assembly
@@ -142,6 +166,7 @@ const (
 	StepMapLocal                 // prime a local read/write page mapping
 	StepExpect                   // post-run assertion on a register or word
 	StepCheck                    // builtin whole-workload verification
+	StepGrant                    // place a guarded pointer in a register
 )
 
 // Step is one scenario step, in file order. Which fields are meaningful
@@ -157,6 +182,10 @@ type Step struct {
 	NodeLo, NodeHi Expr // single node when NodeHi == nil
 	VThread        Expr // nil = 0
 	Cluster        Expr // nil = 0
+	// User marks an unprivileged load: the program runs without raw
+	// addressing, so its memory and SEND operands must be guarded
+	// pointers provisioned by grant steps.
+	User bool
 
 	// StepRun
 	Phase  string // from the preceding phase directive, or ""
@@ -171,10 +200,68 @@ type Step struct {
 	Page       Expr
 	ExpectKind string // "reg", "mem", or "fmem"
 
-	// StepCheck
+	// StepCheck / StepGrant (grant: node=, vthread=, cluster=, reg=,
+	// perms=, seglen=, addr= — perms is a bare rwxk identifier parsed as
+	// an expression; the lowering reads it with IdentName)
 	CheckKind string
 	Args      map[string]Expr
 	ArgPos    map[string]Pos
+}
+
+// UsesIdent reports whether any expression in the program's body or
+// generator arguments references an identifier for which dep returns
+// true. Repeat blocks shadow their loop variable: references to Var
+// inside the body don't count (the Lo/Hi bounds still do).
+func (d *ProgramDecl) UsesIdent(dep func(string) bool) bool {
+	if d.Gen != nil {
+		for _, e := range d.Gen.Args {
+			if UsesIdent(e, dep) {
+				return true
+			}
+		}
+	}
+	return templUsesIdent(d.Body, dep)
+}
+
+func templUsesIdent(body []TemplNode, dep func(string) bool) bool {
+	for _, n := range body {
+		switch n := n.(type) {
+		case *TemplLine:
+			for _, part := range n.Parts {
+				if part.Expr != nil && UsesIdent(part.Expr, dep) {
+					return true
+				}
+			}
+		case *Repeat:
+			if UsesIdent(n.Lo, dep) || UsesIdent(n.Hi, dep) {
+				return true
+			}
+			inner := func(name string) bool { return name != n.Var && dep(name) }
+			if templUsesIdent(n.Body, inner) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UsesIdent reports whether any of the step's expression arguments
+// references an identifier for which dep returns true. Program
+// references are not followed — callers resolve the program and check
+// it separately (see workload.FromDSL's sweep prefix split).
+func (s *Step) UsesIdent(dep func(string) bool) bool {
+	for _, e := range []Expr{s.NodeLo, s.NodeHi, s.VThread, s.Cluster,
+		s.Budget, s.Node, s.Addr, s.Value, s.Reg, s.Page} {
+		if e != nil && UsesIdent(e, dep) {
+			return true
+		}
+	}
+	for _, e := range s.Args {
+		if UsesIdent(e, dep) {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse parses .wl source. name is used in diagnostics (pass the file
@@ -224,6 +311,10 @@ func (p *parser) run() error {
 			if err := p.parseMesh(t, kw.pos); err != nil {
 				return err
 			}
+		case "sweep":
+			if err := p.parseSweep(t, kw.pos); err != nil {
+				return err
+			}
 		case "caching":
 			if err := p.parseCaching(t); err != nil {
 				return err
@@ -259,7 +350,7 @@ func (p *parser) run() error {
 				return err
 			}
 			p.phase = nameTok.text
-		case "maplocal", "poke", "load", "run", "expect", "check":
+		case "maplocal", "poke", "load", "run", "expect", "check", "grant":
 			step, err := p.parseStep(t, kw)
 			if err != nil {
 				return err
@@ -271,7 +362,7 @@ func (p *parser) run() error {
 			return errAt(p.file, kw.pos, "'repeat' is only valid inside a program block")
 		default:
 			return errAt(p.file, kw.pos,
-				"unknown directive %q (expected workload, mesh, caching, const, deadline, budget, program, generate, phase, maplocal, poke, load, run, expect, or check)", kw.text)
+				"unknown directive %q (expected workload, mesh, sweep, caching, const, deadline, budget, program, generate, phase, maplocal, poke, load, run, expect, check, or grant)", kw.text)
 		}
 	}
 	return nil
@@ -303,10 +394,10 @@ func (p *parser) parseWorkload(t *toks) error {
 }
 
 func (p *parser) parseMesh(t *toks, pos Pos) error {
-	if p.f.Mesh != [3]int{} {
+	if p.f.MeshExprs[0] != nil {
 		return errAt(p.file, pos, "duplicate mesh directive")
 	}
-	dims := [3]int{1, 1, 1}
+	exprs := [3]Expr{}
 	dimPos := [3]Pos{pos, pos, pos}
 	for i := 0; i < 3; i++ {
 		tk := t.peek()
@@ -316,19 +407,81 @@ func (p *parser) parseMesh(t *toks, pos Pos) error {
 			}
 			break
 		}
-		if tk.kind != tokNumber {
-			return errAt(p.file, tk.pos, "mesh dimensions must be integer literals, got %s", tk.describe())
-		}
-		t.next()
-		dims[i] = int(tk.ival)
 		dimPos[i] = tk.pos
+		e, err := parseExpr(t)
+		if err != nil {
+			return err
+		}
+		exprs[i] = e
 	}
 	if err := t.expectEOL(); err != nil {
 		return err
 	}
-	p.f.Mesh = dims
+	// Trailing dims default to 1.
+	for i := range exprs {
+		if exprs[i] == nil {
+			exprs[i] = &numExpr{p: pos, v: 1}
+		}
+	}
+	// Mirror all-literal meshes into the [3]int view so callers that only
+	// need static dims (the common case) skip expression evaluation.
+	allLit, dims := true, [3]int{}
+	for i, e := range exprs {
+		n, ok := e.(*numExpr)
+		if !ok {
+			allLit = false
+			break
+		}
+		dims[i] = int(n.v)
+	}
+	if allLit {
+		p.f.Mesh = dims
+	}
 	p.f.MeshPos = pos
 	p.f.MeshDimPos = dimPos
+	p.f.MeshExprs = exprs
+	return nil
+}
+
+// parseSweep parses `sweep NAME V1 V2 ...` (explicit value list, at
+// least two values) or `sweep NAME LO .. HI` (inclusive integer range).
+func (p *parser) parseSweep(t *toks, pos Pos) error {
+	if p.f.Sweep != nil {
+		return errAt(p.file, pos, "duplicate sweep directive (one sweep per scenario)")
+	}
+	name, err := t.expectIdent()
+	if err != nil {
+		return err
+	}
+	sw := &Sweep{Pos: pos, Name: name.text, NamePos: name.pos}
+	first, err := parseExpr(t)
+	if err != nil {
+		return err
+	}
+	if tk := t.peek(); tk.kind == tokPunct && tk.text == ".." {
+		t.next()
+		hi, err := parseExpr(t)
+		if err != nil {
+			return err
+		}
+		sw.Lo, sw.Hi = first, hi
+	} else {
+		sw.Values = []Expr{first}
+		for t.peek().kind != tokEOL {
+			v, err := parseExpr(t)
+			if err != nil {
+				return err
+			}
+			sw.Values = append(sw.Values, v)
+		}
+		if len(sw.Values) < 2 {
+			return errAt(p.file, first.Pos(), "sweep wants at least two values (or LO .. HI)")
+		}
+	}
+	if err := t.expectEOL(); err != nil {
+		return err
+	}
+	p.f.Sweep = sw
 	return nil
 }
 
@@ -620,6 +773,15 @@ func (p *parser) parseStep(t *toks, kw token) (*Step, error) {
 		s.ProgPos = kind.pos
 		s.Args, s.ArgPos, err = p.parseKeyArgs(t, nil)
 		return s, err
+
+	case "grant":
+		s.Kind = StepGrant
+		args, pos, err := p.parseKeyArgs(t, []string{"node", "vthread", "cluster", "reg", "perms", "seglen", "addr"})
+		if err != nil {
+			return nil, err
+		}
+		s.Args, s.ArgPos = args, pos
+		return s, requireArgs(p.file, kw.pos, args, pos, "reg", "perms", "addr")
 	}
 	return nil, errAt(p.file, kw.pos, "internal: unhandled step %q", kw.text)
 }
@@ -658,6 +820,10 @@ func (p *parser) parseLoad(t *toks, s *Step) (*Step, error) {
 		}
 	default:
 		return nil, errAt(p.file, target.pos, "expected 'all', 'node E', or 'nodes LO HI', got %q", target.text)
+	}
+	if tk := t.peek(); tk.kind == tokIdent && tk.text == "user" {
+		t.next()
+		s.User = true
 	}
 	args, _, err := p.parseKeyArgs(t, []string{"vthread", "cluster"})
 	if err != nil {

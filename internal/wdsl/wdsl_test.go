@@ -65,6 +65,96 @@ check smooth total=64
 	}
 }
 
+// TestParseSweepGrant exercises the DSL v2 forms: the sweep directive
+// (list and range), mesh dimensions as expressions, user-mode loads,
+// and grant steps.
+func TestParseSweepGrant(t *testing.T) {
+	f, err := Parse("t.wl", `
+workload "v2 forms"
+sweep MSGS 2 4 8
+mesh 2
+program p
+    halt
+end
+load p on node 0 user vthread=1
+grant node=0 vthread=1 reg=1 perms=rw seglen=6 addr=64
+run 1000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sweep == nil || f.Sweep.Name != "MSGS" || len(f.Sweep.Values) != 3 || f.Sweep.Lo != nil {
+		t.Fatalf("sweep = %+v", f.Sweep)
+	}
+	if len(f.Steps) != 3 {
+		t.Fatalf("%d steps, want 3", len(f.Steps))
+	}
+	ld, gr := f.Steps[0], f.Steps[1]
+	if ld.Kind != StepLoad || !ld.User {
+		t.Errorf("load step = kind %v user %v", ld.Kind, ld.User)
+	}
+	if gr.Kind != StepGrant {
+		t.Fatalf("grant step kind = %v", gr.Kind)
+	}
+	if name, ok := IdentName(gr.Args["perms"]); !ok || name != "rw" {
+		t.Errorf("perms ident = %q, %v", name, ok)
+	}
+	if _, ok := IdentName(gr.Args["addr"]); ok {
+		t.Error("IdentName accepted a number")
+	}
+
+	// Range form, and a swept mesh dimension.
+	f2, err := Parse("t.wl", "sweep N 1 .. 4\nmesh N\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Sweep == nil || f2.Sweep.Lo == nil || f2.Sweep.Hi == nil || f2.Sweep.Values != nil {
+		t.Fatalf("sweep = %+v", f2.Sweep)
+	}
+	if f2.Mesh != [3]int{} {
+		t.Errorf("swept mesh should not mirror literals, got %v", f2.Mesh)
+	}
+	if f2.MeshExprs[0] == nil || !UsesIdent(f2.MeshExprs[0], func(s string) bool { return s == "N" }) {
+		t.Error("mesh expr should reference N")
+	}
+	if UsesIdent(f2.MeshExprs[1], func(string) bool { return true }) {
+		t.Error("defaulted dim should not reference identifiers")
+	}
+}
+
+// TestUsesIdent covers the dependence walkers over program templates,
+// including repeat-variable shadowing.
+func TestUsesIdent(t *testing.T) {
+	f, err := Parse("t.wl", `
+program shadowed
+repeat N = 0 .. 3
+    st [i1+{N}], i2
+end
+    halt
+end
+program bound
+repeat k = 0 .. N
+    st [i1+{k}], i2
+end
+    halt
+end
+generate g exchange msgs=N
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isN := func(s string) bool { return s == "N" }
+	if f.Programs[0].UsesIdent(isN) {
+		t.Error("repeat variable should shadow N")
+	}
+	if !f.Programs[1].UsesIdent(isN) {
+		t.Error("repeat bound should count as a use of N")
+	}
+	if !f.Programs[2].UsesIdent(isN) {
+		t.Error("generator arg should count as a use of N")
+	}
+}
+
 // TestInstantiate renders a template under per-node bindings, including
 // repeat unrolling and the home() function.
 func TestInstantiate(t *testing.T) {
@@ -175,7 +265,14 @@ func TestParseErrors(t *testing.T) {
 		msgContain string
 	}{
 		{"unknown directive", "mesh 2\nfrobnicate 3\n", 2, 1, "unknown directive"},
-		{"bad mesh dims", "mesh two\n", 1, 6, "integer literals"},
+		{"bad mesh dims", "mesh 2,\n", 1, 7, "expected expression"},
+		{"duplicate mesh", "mesh 2\nmesh 3\n", 2, 1, "duplicate mesh directive"},
+		{"duplicate sweep", "sweep N 1 2\nsweep M 1 2\n", 2, 1, "duplicate sweep directive"},
+		{"sweep one value", "sweep N 4\n", 1, 9, "at least two values"},
+		{"sweep missing name", "sweep\n", 1, 6, "expected identifier"},
+		{"sweep bad range", "sweep N 1 ..\n", 1, 13, "expected expression"},
+		{"grant missing required", "grant node=0 reg=1\n", 1, 1, "missing"},
+		{"grant unknown arg", "grant reg=1 perms=rw addr=64 frob=2\n", 1, 30, "unknown argument"},
 		{"mesh missing dims", "mesh\n", 1, 5, "1-3 integer dimensions"},
 		{"bad caching", "caching maybe\n", 1, 9, "'on' or 'off'"},
 		{"const missing expr", "const K\n", 1, 8, "expected expression"},

@@ -1,0 +1,104 @@
+package wgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSourceDeterministic pins the generator's core contract: a seed
+// names exactly one scenario, byte for byte, and distinct seeds name
+// distinct scenarios.
+func TestSourceDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		n1, s1 := Source(seed)
+		n2, s2 := Source(seed)
+		if n1 != n2 || s1 != s2 {
+			t.Fatalf("seed %d generated two different scenarios", seed)
+		}
+	}
+	_, a := Source(1)
+	_, b := Source(2)
+	if a == b {
+		t.Fatal("seeds 1 and 2 generated identical scenarios")
+	}
+}
+
+// TestSourceCompiles requires every generated scenario to compile: the
+// generator only emits values inside the DSL's validated ranges, so a
+// compile error is a wgen bug regardless of seed.
+func TestSourceCompiles(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		name, src := Source(seed)
+		if _, err := core.ScenarioFromDSL(name+".wl", src); err != nil {
+			t.Errorf("seed %d does not compile: %v\n--- source ---\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestSourceVariety checks the generator actually exercises the feature
+// space: over a window of seeds, every leg kind, the sweep form, the
+// caching mode, multi-leg scenarios, and multi-node meshes all appear.
+func TestSourceVariety(t *testing.T) {
+	var sweeps, grants, exchanges, loopsyncs, caching, multiLeg, multiNode int
+	for seed := uint64(0); seed < 200; seed++ {
+		_, src := Source(seed)
+		if strings.Contains(src, "sweep P") {
+			sweeps++
+		}
+		if strings.Contains(src, "grant ") {
+			grants++
+		}
+		if strings.Contains(src, "exchange msgs=") {
+			exchanges++
+		}
+		if strings.Contains(src, "loopsync hthreads=") {
+			loopsyncs++
+		}
+		if strings.Contains(src, "caching on") {
+			caching++
+		}
+		if strings.Count(src, "phase ") > 1 {
+			multiLeg++
+		}
+		if !strings.Contains(src, "mesh 1 1 1") {
+			multiNode++
+		}
+	}
+	for _, c := range []struct {
+		what string
+		n    int
+	}{
+		{"sweep scenarios", sweeps},
+		{"guarded-pointer legs", grants},
+		{"exchange legs", exchanges},
+		{"loopsync legs", loopsyncs},
+		{"caching scenarios", caching},
+		{"multi-leg scenarios", multiLeg},
+		{"multi-node meshes", multiNode},
+	} {
+		if c.n == 0 {
+			t.Errorf("no %s in 200 seeds — the generator lost a feature", c.what)
+		}
+	}
+}
+
+// TestVerifySeeds runs the full determinism matrix over a window of
+// seeds — the in-test twin of the `make gen` CI leg (mbench -gen runs a
+// larger window). Any failure names the seed for `msim -gen-seed`.
+func TestVerifySeeds(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		if err := Verify(seed); err != nil {
+			t.Error(err)
+		}
+	}
+}

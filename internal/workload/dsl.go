@@ -27,6 +27,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/gp"
 	"repro/internal/isa"
 	"repro/internal/wdsl"
 )
@@ -56,6 +57,7 @@ const (
 	PlanExpectReg                     // assert an integer register value
 	PlanExpectMem                     // assert a memory word
 	PlanCheck                         // builtin whole-workload check
+	PlanGrant                         // place a guarded pointer in a register
 )
 
 // PlanStep is one lowered step. Which fields are set depends on Kind;
@@ -70,6 +72,17 @@ type PlanStep struct {
 	Phase                  string
 	Reg                    int
 	Float                  bool // expect fmem: compare as float64 bits
+
+	// PlanLoad: load the program without the privileged bit, so its
+	// memory and SEND operands must go through guarded pointers placed
+	// by PlanGrant steps.
+	User bool
+
+	// PlanGrant: the pointer's permission bits and segment-length
+	// exponent (segment size 1 << SegLen words, naturally aligned); the
+	// target address is the deferred Addr below.
+	Perms  gp.Perm
+	SegLen uint8
 
 	// Deferred values (evaluated under the execution Env).
 	Addr, Value func(Env) (uint64, error)
@@ -98,6 +111,11 @@ type Plan struct {
 	Deadline    time.Duration
 	CycleBudget int64
 	Steps       []PlanStep
+	// Sweep is non-nil for sweep scenarios: Steps is then the shared
+	// sweep-independent staging prefix (executed once, forked per
+	// point), and each Sweep.Points[i].Steps is one point's suffix. Dims
+	// and CycleBudget mirror point 0. See sweep.go.
+	Sweep *SweepPlan
 }
 
 // Mesh size limits for DSL scenarios: generous for experiments, tight
@@ -116,22 +134,72 @@ type lowerer struct {
 }
 
 // FromDSL validates a parsed DSL file and lowers it to an executable
-// Plan. All errors are positional (*wdsl.Error).
+// Plan. All errors are positional (*wdsl.Error). A file with a sweep
+// directive lowers to a Plan with a non-nil Sweep (see sweep.go).
 func FromDSL(f *wdsl.File) (*Plan, error) {
-	if f.Mesh == [3]int{} {
-		return nil, errAt(f, wdsl.Pos{Line: 1, Col: 1}, "scenario has no mesh directive")
+	if f.Sweep != nil {
+		return fromDSLSweep(f)
 	}
-	for i, d := range f.Mesh {
-		if d < 1 || d > maxMeshDim {
-			return nil, errAt(f, f.MeshDimPos[i], "mesh dimension %d out of range [1, %d]", d, maxMeshDim)
-		}
+	dims, nodes, err := evalMesh(f, nil)
+	if err != nil {
+		return nil, err
 	}
-	nodes := f.Mesh[0] * f.Mesh[1] * f.Mesh[2]
-	if nodes > maxMeshNodes {
-		return nil, errAt(f, f.MeshPos, "mesh has %d nodes, more than the %d-node limit", nodes, maxMeshNodes)
+	lo, err := newLowerer(f, nodes, nil)
+	if err != nil {
+		return nil, err
 	}
 
-	lo := &lowerer{f: f, nodes: nodes, vars: map[string]int64{"nodes": int64(nodes)}}
+	p := &Plan{Title: f.Title, Dims: dims, Caching: f.Caching, Deadline: f.Deadline}
+	if p.CycleBudget, err = lo.budget(); err != nil {
+		return nil, err
+	}
+	for _, s := range f.Steps {
+		steps, err := lo.lowerStep(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Steps = append(p.Steps, steps...)
+	}
+	return p, nil
+}
+
+// evalMesh evaluates the mesh directive's dimension expressions and
+// range-checks them. extra supplies the only non-literal bindings a
+// mesh dimension may reference (the sweep parameter, for swept meshes);
+// consts are deliberately unavailable, as consts may themselves depend
+// on the node count.
+func evalMesh(f *wdsl.File, extra map[string]int64) ([3]int, int, error) {
+	if f.MeshExprs[0] == nil {
+		return [3]int{}, 0, errAt(f, wdsl.Pos{Line: 1, Col: 1}, "scenario has no mesh directive")
+	}
+	env := &wdsl.EvalEnv{File: f.Name, Vars: extra}
+	var dims [3]int
+	for i, e := range f.MeshExprs {
+		d, err := wdsl.Eval(e, env)
+		if err != nil {
+			return [3]int{}, 0, err
+		}
+		if d < 1 || d > maxMeshDim {
+			return [3]int{}, 0, errAt(f, f.MeshDimPos[i], "mesh dimension %d out of range [1, %d]", d, maxMeshDim)
+		}
+		dims[i] = int(d)
+	}
+	nodes := dims[0] * dims[1] * dims[2]
+	if nodes > maxMeshNodes {
+		return [3]int{}, 0, errAt(f, f.MeshPos, "mesh has %d nodes, more than the %d-node limit", nodes, maxMeshNodes)
+	}
+	return dims, nodes, nil
+}
+
+// newLowerer builds a lowerer for one (mesh size, extra bindings)
+// combination, evaluating every const declaration under it. extra binds
+// the sweep parameter for sweep lowering; nil otherwise.
+func newLowerer(f *wdsl.File, nodes int, extra map[string]int64) (*lowerer, error) {
+	vars := map[string]int64{"nodes": int64(nodes)}
+	for k, v := range extra {
+		vars[k] = v
+	}
+	lo := &lowerer{f: f, nodes: nodes, vars: vars}
 	for _, c := range f.Consts {
 		if _, dup := lo.vars[c.Name]; dup {
 			return nil, errAt(f, c.Pos, "constant %q redeclared (or shadows a builtin)", c.Name)
@@ -142,23 +210,16 @@ func FromDSL(f *wdsl.File) (*Plan, error) {
 		}
 		lo.vars[c.Name] = v
 	}
+	return lo, nil
+}
 
-	p := &Plan{Title: f.Title, Dims: f.Mesh, Caching: f.Caching, Deadline: f.Deadline}
-	if f.Budget != nil {
-		b, err := lo.staticIn(f.Budget, 0, "budget", 1, 1<<40, f.BudgetPos)
-		if err != nil {
-			return nil, err
-		}
-		p.CycleBudget = b
+// budget evaluates the file's budget directive under this lowerer's
+// bindings; 0 when absent.
+func (lo *lowerer) budget() (int64, error) {
+	if lo.f.Budget == nil {
+		return 0, nil
 	}
-	for _, s := range f.Steps {
-		steps, err := lo.lowerStep(s)
-		if err != nil {
-			return nil, err
-		}
-		p.Steps = append(p.Steps, steps...)
-	}
-	return p, nil
+	return lo.staticIn(lo.f.Budget, 0, "budget", 1, 1<<40, lo.f.BudgetPos)
 }
 
 // errAt builds a positional error against the file.
@@ -269,8 +330,64 @@ func (lo *lowerer) lowerStep(s *wdsl.Step) ([]PlanStep, error) {
 
 	case wdsl.StepCheck:
 		return lo.lowerCheck(s, pos)
+
+	case wdsl.StepGrant:
+		return lo.lowerGrant(s, pos)
 	}
 	return nil, errAt(lo.f, s.Pos, "internal: unhandled step kind %d", s.Kind)
+}
+
+// lowerGrant lowers a grant step: a guarded pointer with the given
+// permissions, segment length, and (deferred) address placed in an
+// integer register of the target thread.
+func (lo *lowerer) lowerGrant(s *wdsl.Step, pos string) ([]PlanStep, error) {
+	node, err := lo.staticIn(s.Args["node"], 0, "node", 0, int64(lo.nodes)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := lo.staticIn(s.Args["vthread"], 0, "vthread", 0, int64(isa.NumUserSlots)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := lo.staticIn(s.Args["cluster"], 0, "cluster", 0, int64(isa.NumClusters)-1, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := lo.staticIn(s.Args["reg"], 0, "register", 0, 15, s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	segLen, err := lo.staticIn(s.Args["seglen"], 0, "seglen", 0, int64(gp.MaxSegLen), s.Pos)
+	if err != nil {
+		return nil, err
+	}
+	permsExpr := s.Args["perms"]
+	name, ok := wdsl.IdentName(permsExpr)
+	if !ok {
+		return nil, errAt(lo.f, permsExpr.Pos(), "perms= wants a permission word like rw (chars r, w, x, k)")
+	}
+	var perms gp.Perm
+	for _, ch := range name {
+		switch ch {
+		case 'r':
+			perms |= gp.PermRead
+		case 'w':
+			perms |= gp.PermWrite
+		case 'x':
+			perms |= gp.PermExecute
+		case 'k':
+			perms |= gp.PermKey
+		default:
+			return nil, errAt(lo.f, permsExpr.Pos(), "unknown permission %q in perms=%s (valid: r, w, x, k)", string(ch), name)
+		}
+	}
+	st := PlanStep{
+		Kind: PlanGrant, Pos: pos,
+		Node: int(node), VThread: int(vt), Cluster: int(cl), Reg: int(reg),
+		Perms: perms, SegLen: uint8(segLen),
+		Addr: lo.deferExpr(s.Args["addr"]),
+	}
+	return []PlanStep{st}, nil
 }
 
 func (lo *lowerer) lowerExpect(s *wdsl.Step, pos string) ([]PlanStep, error) {
@@ -359,7 +476,7 @@ func (lo *lowerer) lowerLoad(s *wdsl.Step, pos string) ([]PlanStep, error) {
 
 	var out []PlanStep
 	for n := nodeLo; n <= nodeHi; n++ {
-		st := PlanStep{Kind: PlanLoad, Pos: pos, Node: int(n), VThread: int(vt), Cluster: int(cl)}
+		st := PlanStep{Kind: PlanLoad, Pos: pos, Node: int(n), VThread: int(vt), Cluster: int(cl), User: s.User}
 		if progs != nil {
 			st.Progs = progs
 		} else {

@@ -71,6 +71,66 @@ func TestFromDSLValidation(t *testing.T) {
 	}
 }
 
+// lowerErrAt is lowerErr plus the exact error anchor: the *wdsl.Error
+// must point at the declared line:col, not merely somewhere in the file.
+// Pinning positions keeps `msim -workload` diagnostics pointing at the
+// offending token as the lowering grows.
+func lowerErrAt(t *testing.T, src string, line, col int, want string) {
+	t.Helper()
+	f, err := wdsl.Parse("t.wl", src)
+	if err != nil {
+		t.Fatalf("parse failed before lowering: %v", err)
+	}
+	_, err = FromDSL(f)
+	if err == nil {
+		t.Fatalf("no lowering error for %q", src)
+	}
+	var perr *wdsl.Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %v is not a positional *wdsl.Error", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err.Error(), want)
+	}
+	if perr.Pos.Line != line || perr.Pos.Col != col {
+		t.Errorf("error anchored at %d:%d, want %d:%d (%v)", perr.Pos.Line, perr.Pos.Col, line, col, err)
+	}
+}
+
+// TestFromDSLErrorPositions pins the exact source anchor of the range
+// and semantic validations, with the sweep and grant forms front and
+// center: the directive keyword for whole-directive problems, the name
+// for name problems, the offending value expression for range problems.
+func TestFromDSLErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line, col int
+		want      string
+	}{
+		{"sweep range too wide", "mesh 1\nsweep P 1 .. 40\nrun P\n", 2, 1, "spans 40 points"},
+		{"sweep range empty", "mesh 1\nsweep P 5 .. 2\nrun P\n", 2, 1, "empty sweep range [5, 2]"},
+		{"sweep too many values", "mesh 1\nsweep P " + strings.Repeat("1 ", 33) + "\nrun P\n", 2, 1, "more than the 32-point limit"},
+		{"sweep shadows builtin", "mesh 1\nsweep nodes 1 2\nrun nodes\n", 2, 7, "shadows a builtin"},
+		{"sweep never used", "mesh 1\nsweep P 1 2\nrun 10\n", 2, 7, `sweep parameter "P" is never used`},
+		{"sweep value uses const", "mesh 1\nconst A 4\nsweep P A 8\nrun P\n", 3, 9, "unknown identifier"},
+		{"swept mesh dim zero", "sweep P 0 1\nmesh P\nrun 10\n", 2, 6, "out of range"},
+		{"swept mesh too big", "sweep P 1 32\nmesh P 32 2\nrun 10\n", 2, 1, "node limit"},
+		{"grant node out of range", "mesh 2\ngrant node=2 reg=1 perms=r addr=0\nrun 1\n", 2, 12, "node 2 out of range [0, 1]"},
+		{"grant reg out of range", "mesh 1\ngrant reg=99 perms=r addr=0\nrun 1\n", 2, 11, "register 99 out of range [0, 15]"},
+		{"grant seglen out of range", "mesh 1\ngrant reg=1 perms=r seglen=64 addr=0\nrun 1\n", 2, 28, "seglen 64 out of range [0, 63]"},
+		{"grant perms not a word", "mesh 1\ngrant reg=1 perms=7 addr=0\nrun 1\n", 2, 19, "permission word"},
+		{"grant perms bad char", "mesh 1\ngrant reg=1 perms=rq addr=0\nrun 1\n", 2, 19, `unknown permission "q"`},
+		{"grant vthread out of range", "mesh 1\ngrant vthread=4 reg=1 perms=r addr=0\nrun 1\n", 2, 15, "vthread 4 out of range"},
+		{"mesh dim expr out of range", "mesh 2*20\nrun 1\n", 1, 6, "mesh dimension 40 out of range"},
+		{"budget out of range", "mesh 1\nrun 16-16\n", 2, 7, "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lowerErrAt(t, c.src, c.line, c.col, c.want)
+		})
+	}
+}
+
 // TestFromDSLLowering checks the structural output of a successful
 // lowering: load expansion across nodes, deferred address evaluation,
 // and float pokes.

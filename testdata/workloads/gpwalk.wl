@@ -1,0 +1,37 @@
+; User-mode guarded-pointer walk (paper Sections 2 and 4.2): the walk
+; program is loaded WITHOUT the privileged bit, so it cannot fabricate
+; addresses — its only window onto memory is the guarded pointer the
+; grant step places in i1: a read-write segment of 2^SEGLEN words at
+; BASE. The program bumps the pointer with LEA (the hardware-checked
+; guarded-pointer increment) and stores the loop index through it;
+; the expectations then read the segment back from the host side.
+
+workload "guarded-pointer user-mode walk"
+mesh 1
+const N 16
+const SEGLEN 6             ; segment of 64 words...
+const BASE 64              ; ...naturally aligned at 64
+
+program walk
+    movi i2, #0
+    movi i3, #{N}
+loop:
+    lea i1, i1, #1         ; guarded-pointer bump: stays in segment or faults
+    st [i1], i2
+    add i2, i2, #1
+    lt i5, i2, i3
+    brt i5, loop
+    halt
+end
+
+; Order matters: load resets the thread's registers, so the pointer is
+; granted after the program is in place.
+load walk on node 0 user
+grant node=0 reg=1 perms=rw seglen=SEGLEN addr=BASE
+
+phase walk
+run 20000
+
+expect reg node=0 reg=2 value=N
+expect mem node=0 addr=BASE+1 value=0
+expect mem node=0 addr=BASE+N value=N-1

@@ -1,0 +1,35 @@
+; Neighbor message storm swept over the per-node message count. The
+; staging phase first-touches every node's mailbox page at its home and
+; runs exactly once; each MSGS point then starts from a bit-exact fork
+; of the staged machine (DESIGN.md "Workload DSL v2"), so three points
+; cost one staging. TestSweepMatchesStandalone pins every point's final
+; machine digest against a from-boot standalone run of the same point.
+
+workload "neighbor exchange sweep"
+mesh 4
+sweep MSGS 2 4 8
+const MAILBOX 1536         ; MeshMailbox: the generators' mailbox offset
+
+; First-touch each node's mailbox base word at its home so the page is
+; mapped before the storm (sweep-independent: the shared prefix).
+program touch
+    movi i1, #{home(node)+MAILBOX}
+    movi i2, #0
+    st [i1], i2
+    halt
+end
+
+; Every node streams MSGS remote stores into its successor's mailbox;
+; each message's value is its own destination address, so the result is
+; self-checking.
+generate ex exchange msgs=MSGS
+
+phase touch
+load touch on all vthread=3 cluster=3
+run 100000
+
+phase storm
+load ex on all
+run 400000
+
+check exchange msgs=MSGS
